@@ -1,0 +1,8 @@
+"""Benchmark-suite conventions.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every file regenerates one
+table or figure of the paper: the benchmark fixture times the computation
+that produces it, and plain asserts pin the headline *shape* properties
+(who wins, crossovers, ratios).  Each bench prints its regenerated
+table/series, so ``-s`` (or the captured output) shows the paper artifacts.
+"""

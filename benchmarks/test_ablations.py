@@ -1,0 +1,78 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: permutation-scheme ablation
+(none/single/double), aggregation block-size sweep, and the 1D/2D/3D
+configuration-family comparison that Sec. 4.3 discusses in prose.
+"""
+
+import numpy as np
+
+from repro.core import GridConfig, classify_config, factor_triples
+from repro.dist import PERLMUTTER
+from repro.experiments.common import gcn_layer_dims
+from repro.graph import dataset_stats
+from repro.perf import PlexusAnalytic, best_plexus_config
+
+
+def _model(dataset="products-14m", **kw):
+    st = dataset_stats(dataset)
+    return PlexusAnalytic(st, gcn_layer_dims(st.features, st.classes), PERLMUTTER, **kw)
+
+
+def test_ablation_permutation_scheme(benchmark):
+    """Epoch time ordering: double < single < none (Table 3's effect on
+    end-to-end time, via straggler wait before the aggregation all-reduce)."""
+
+    def sweep():
+        cfg = GridConfig(4, 8, 4)
+        return {perm: _model(permutation=perm).epoch_estimate(cfg).total for perm in ("none", "single", "double")}
+
+    times = benchmark(sweep)
+    assert times["double"] < times["single"] < times["none"]
+
+
+def test_ablation_block_size_sweep(benchmark):
+    """More aggregation blocks keep helping until per-call overhead bites."""
+    st = dataset_stats("isolate-3-8m")
+    cfg, _ = best_plexus_config(_model("isolate-3-8m"), 16)
+
+    def sweep():
+        return {
+            b: _model("isolate-3-8m", aggregation_blocks=b).epoch_estimate(cfg).total
+            for b in (1, 4, 32, 4096)
+        }
+
+    times = benchmark(sweep)
+    assert times[32] < times[1]
+    # overhead regime: absurd block counts must cost more than the sweet spot
+    assert times[4096] > times[32]
+
+
+def test_ablation_config_families(benchmark):
+    """Fig. 5's family separation: best 3D <= best 2D <= best 1D."""
+    model = _model("ogbn-products")
+
+    def sweep():
+        best = {"1D": np.inf, "2D": np.inf, "3D": np.inf}
+        for cfg in factor_triples(64):
+            t = model.epoch_estimate(cfg).total
+            fam = classify_config(cfg)
+            best[fam] = min(best[fam], t)
+        return best
+
+    best = benchmark(sweep)
+    assert best["3D"] <= best["2D"] <= best["1D"]
+
+
+def test_ablation_trainable_features_cost(benchmark):
+    """Trainable input features add the layer-0 backward SpMM + collective."""
+
+    def sweep():
+        cfg = GridConfig(4, 4, 4)
+        return (
+            _model(trainable_features=True).epoch_estimate(cfg).total,
+            _model(trainable_features=False).epoch_estimate(cfg).total,
+        )
+
+    with_f, without_f = benchmark(sweep)
+    assert with_f > without_f

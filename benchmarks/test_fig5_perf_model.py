@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 5 (performance-model validation) and the Sec. 4.1
+regression protocol."""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+
+def test_fig5_predicted_vs_observed(benchmark):
+    reg, stats = fig5.calibrated_regression()
+    points = benchmark.pedantic(
+        fig5.predicted_vs_observed, kwargs={"regression": reg}, rounds=2, iterations=1
+    )
+    print()
+    fig5.run().print()
+    pred = np.array([p.predicted_ms for p in points])
+    obs = np.array([p.observed_ms for p in points])
+    # the figure's claim: strong correlation, top configs predicted correctly
+    assert np.corrcoef(pred, obs)[0, 1] > 0.9
+    best_pred = min(points, key=lambda p: p.predicted_ms)
+    best_obs = min(points, key=lambda p: p.observed_ms)
+    assert best_pred.observed_ms <= 1.3 * best_obs.observed_ms
+    # 3D family wins (Fig. 5's separation of families)
+    assert best_obs.family == "3D"
+    # regression generalizes (paper: R2 0.89/0.79)
+    assert stats["r2_test"] > 0.2
+
+
+def test_regression_fit_speed(benchmark):
+    """Fitting the 3-coefficient model is instant (replaces exhaustive runs)."""
+    terms, times = fig5.collect_spmm_samples()
+    from repro.core.perf_model import fit_spmm_regression
+
+    benchmark(fit_spmm_regression, terms, times)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 6 (blocked aggregation + dense-GEMM tuning)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_left_blocked_aggregation(benchmark):
+    data = benchmark.pedantic(fig6.blocking_comparison, rounds=2, iterations=1)
+    for g, (default, blocked, _cfg) in data.items():
+        # Fig. 6 left: blocking reduces BOTH communication and computation
+        assert blocked.comm < default.comm
+        assert blocked.comp < default.comp
+        assert blocked.total < default.total
+
+
+def test_fig6_right_gemm_tuning(benchmark):
+    data = benchmark.pedantic(fig6.tuning_comparison, rounds=2, iterations=1)
+    print()
+    fig6.run().print()
+    for g, (untuned, tuned, _cfg) in data.items():
+        # Fig. 6 right: grad_W goes from ~tens of ms to negligible
+        assert untuned.detail["gemm_dw"] > 0.02
+        assert tuned.detail["gemm_dw"] < 0.005
+        assert tuned.total < untuned.total

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 7 (loss-curve validation vs the serial baseline),
+executing the real distributed engine on 16 virtual ranks."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_validation_curves(benchmark):
+    serial, curves = benchmark.pedantic(
+        fig7.validation_curves, kwargs={"epochs": 8, "n_nodes": 900}, rounds=1, iterations=1
+    )
+    print()
+    fig7.run(epochs=8).print()
+    assert len(curves) == len(fig7.PAPER_CONFIGS)
+    for name, losses in curves.items():
+        dev = max(abs(a - b) for a, b in zip(losses, serial))
+        assert dev < 1e-6, f"{name} diverged from serial by {dev}"
+    # training must actually make progress
+    assert serial[-1] < serial[0]

@@ -1,0 +1,58 @@
+"""Bench: regenerate Fig. 8 (strong scaling vs SA / SA+GVB / BNS-GCN)."""
+
+from repro.experiments import fig8
+
+
+def _by_gpus(points):
+    return {p.gpus: p for p in points}
+
+
+def test_fig8_reddit(benchmark):
+    series = benchmark.pedantic(
+        fig8.comparison_series, args=("reddit",), rounds=2, iterations=1
+    )
+    plexus = _by_gpus(series["plexus"])
+    bns = _by_gpus(series["bns-gcn"])
+    sa = _by_gpus(series["sa"])
+    # SA fastest at 4 GPUs but does not scale
+    assert sa[4].ms < plexus[4].ms
+    assert sa[128].ms > 0.5 * sa[8].ms
+    # Plexus is the only framework scaling well to 128
+    assert plexus[128].ms < bns[128].ms
+    assert plexus[128].ms < sa[128].ms
+    assert plexus[128].ms < plexus[4].ms / 8  # strong scaling
+
+
+def test_fig8_isolate(benchmark):
+    series = benchmark.pedantic(
+        fig8.comparison_series, args=("isolate-3-8m",), rounds=2, iterations=1
+    )
+    plexus = _by_gpus(series["plexus"])
+    bns = _by_gpus(series["bns-gcn"])
+    # SA/SA+GVB fail with OOM (Sec. 7.1)
+    assert all(p.estimate.oom for p in series["sa"])
+    # BNS scales to ~64 then degrades; Plexus leads at 256 by a multi-x factor
+    assert bns[64].ms < bns[16].ms
+    assert bns[1024].ms > bns[64].ms
+    assert bns[256].ms > 2.0 * plexus[256].ms  # paper: 3.8x
+    assert plexus[1024].ms < plexus[16].ms
+
+
+def test_fig8_products14m(benchmark):
+    series = benchmark.pedantic(
+        fig8.comparison_series, args=("products-14m",), rounds=2, iterations=1
+    )
+    print()
+    fig8.run().print()
+    plexus = _by_gpus(series["plexus"])
+    bns = _by_gpus(series["bns-gcn"])
+    sa = _by_gpus(series["sa"])
+    # BNS wins small scale, loses beyond the 64-128 inflection (paper: 64)
+    assert bns[32].ms < plexus[32].ms
+    assert bns[256].ms > plexus[256].ms
+    assert bns[256].ms > 1.5 * plexus[256].ms  # paper: 4x
+    # SA starts slow (thousands of ms) and scales to ~128
+    assert sa[8].ms > 1500
+    assert sa[128].ms < sa[8].ms / 3
+    # Plexus scales to 1024
+    assert plexus[1024].ms == min(p.ms for p in series["plexus"])

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 9 (comm/comp breakdown, BNS-GCN vs Plexus)."""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_fig9_breakdown(benchmark):
+    data = benchmark.pedantic(fig9.breakdown, rounds=2, iterations=1)
+    print()
+    fig9.run().print()
+    # at 32 GPUs BNS's fine-grained comm beats Plexus's dense collectives
+    assert data[32]["bns-gcn"].comm < data[32]["plexus"].comm
+    assert data[32]["bns-gcn"].total < data[32]["plexus"].total
+    # by 256 the ordering flips
+    assert data[256]["bns-gcn"].total > data[256]["plexus"].total
+    # Plexus computation keeps shrinking across the sweep
+    comps = [data[g]["plexus"].comp for g in (32, 64, 128, 256)]
+    assert comps == sorted(comps, reverse=True)
+    # BNS boundary growth matches the paper's measured 18M -> 22M
+    assert data[32]["bns_total_nodes"] == pytest.approx(18e6, rel=0.05)
+    assert data[256]["bns_total_nodes"] == pytest.approx(22e6, rel=0.05)

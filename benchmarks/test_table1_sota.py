@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 1 (SOTA summary)."""
+
+from repro.experiments import table1
+
+
+def test_table1_sota(benchmark):
+    res = benchmark(table1.run)
+    print()
+    res.print()
+    assert len(res.rows) == 16
+    # Plexus's 2048 GPUs is the table's maximum
+    assert max(r[-1] for r in res.rows) == 2048

@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 2 (Nsight metrics for SpMM configs U vs V)."""
+
+import pytest
+
+from repro.experiments import table2
+from repro.gpu import A100_40GB, spmm_time
+
+
+def test_table2_profiles(benchmark):
+    prof = benchmark(table2.profiles)
+    print()
+    table2.run().print()
+    u, v = prof["U"], prof["V"]
+    # headline shapes: ~64x more CTAs, collapsed throughput, ~8x slower
+    assert v.grid_size == pytest.approx(64 * u.grid_size, rel=0.1)
+    assert v.uncoalesced_sectors > 20 * u.uncoalesced_sectors
+    assert v.dram_throughput_pct < 0.2 * u.dram_throughput_pct
+    assert 6 <= v.time_s / u.time_s <= 11
+
+
+def test_spmm_kernel_time_evaluation_speed(benchmark):
+    """The kernel model itself must be cheap (it runs inside sweeps)."""
+    shard = table2.config_u_shard()
+    benchmark(spmm_time, shard, A100_40GB)

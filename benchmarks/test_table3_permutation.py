@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 3 (permutation load balance on europe_osm)."""
+
+from repro.experiments import table3
+
+
+def test_table3_permutation_balance(benchmark):
+    ratios = benchmark.pedantic(
+        table3.permutation_ratios, kwargs={"n_nodes": 16384}, rounds=2, iterations=1
+    )
+    print()
+    table3.run(n_nodes=16384).print()
+    # paper: 7.70 -> 3.24 -> 1.001
+    assert ratios["Original"] > 4.0
+    assert ratios["Single permutation"] < ratios["Original"]
+    assert ratios["Double permutation"] < 1.15

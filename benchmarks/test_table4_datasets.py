@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 4 (dataset statistics + scaled synthetics)."""
+
+from repro.experiments import table4
+
+
+def test_table4_datasets(benchmark):
+    res = benchmark.pedantic(table4.run, kwargs={"scale": "tiny"}, rounds=2, iterations=1)
+    print()
+    res.print()
+    assert len(res.rows) == 6
+    # the largest dataset is ogbn-papers100M at 111M nodes / 1.6B edges
+    papers = [r for r in res.rows if r[0] == "ogbn-papers100m"][0]
+    assert papers[1] == "111,059,956"

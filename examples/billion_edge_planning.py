@@ -1,0 +1,55 @@
+"""Capacity planning for billion-edge training — the paper's headline use
+case: how many Perlmutter GPUs (or Frontier GCDs) does ogbn-papers100M need,
+and which 3D configuration should each allocation use?
+
+Uses only the Table 4 statistics and the analytic performance model, so this
+runs in seconds on a laptop while answering the question the authors needed
+2048 real GPUs to measure.
+
+Run:  python examples/billion_edge_planning.py
+"""
+
+from repro import FRONTIER, PERLMUTTER, dataset_stats
+from repro.experiments.common import gcn_layer_dims
+from repro.perf import PlexusAnalytic, best_plexus_config
+from repro.utils import ascii_table
+
+
+def main() -> None:
+    st = dataset_stats("ogbn-papers100m")
+    dims = gcn_layer_dims(st.features, st.classes)
+    print(f"dataset: {st.name} — {st.nodes:,} nodes, {st.edges:,} edges, {st.nonzeros:,} nonzeros\n")
+
+    for machine in (PERLMUTTER, FRONTIER):
+        model = PlexusAnalytic(st, dims, machine)
+        rows = []
+        prev = None
+        for g in (64, 128, 256, 512, 1024, 2048):
+            cfg, est = best_plexus_config(model, g)
+            mem_gb = model.memory_per_rank(cfg) / 1e9
+            eff = "" if prev is None else f"{prev / est.total / 2:.0%}"
+            rows.append(
+                [g, cfg.name, f"{est.total * 1e3:9.1f}", f"{est.comm * 1e3:8.1f}",
+                 f"{est.comp * 1e3:8.1f}", f"{mem_gb:6.1f}", eff]
+            )
+            prev = est.total
+        print(f"== {machine.name} ({machine.device.name}) ==")
+        print(ascii_table(
+            ["devices", "best config", "epoch ms", "comm ms", "comp ms", "GB/rank", "scaling eff."],
+            rows,
+        ))
+        print()
+
+    # where does an epoch-time budget land?
+    budget_ms = 300.0
+    model = PlexusAnalytic(st, dims, PERLMUTTER)
+    for g in (64, 128, 256, 512, 1024, 2048):
+        cfg, est = best_plexus_config(model, g)
+        if est.total * 1e3 <= budget_ms:
+            print(f"first allocation meeting a {budget_ms:.0f} ms/epoch budget: "
+                  f"{g} GPUs with {cfg.name} ({est.total * 1e3:.1f} ms)")
+            break
+
+
+if __name__ == "__main__":
+    main()

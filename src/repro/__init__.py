@@ -1,0 +1,91 @@
+"""Plexus reproduction: 3D parallel full-graph GNN training (SC '25).
+
+A from-scratch numpy/scipy implementation of Ranjan et al.'s Plexus — the 3D
+tensor-parallel full-graph GCN training algorithm — together with every
+substrate it needs: a simulated multi-GPU cluster with ring collectives and
+machine topologies (Perlmutter, Frontier), calibrated GPU kernel models,
+synthetic structural equivalents of the six evaluation datasets, the Sec. 4
+performance model, the Sec. 5 optimizations, and the baselines it is
+compared against (BNS-GCN, CAGNET-SA, SA+GVB).
+
+Quickstart::
+
+    from repro import train_plexus
+    result = train_plexus("ogbn-products", gpus=8, epochs=10)
+    print(result.losses, result.mean_epoch_time())
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from repro.core import (
+    GridConfig,
+    PlexusGCN,
+    PlexusOptions,
+    PlexusTrainer,
+    TrainResult,
+    factor_triples,
+    select_best_config,
+)
+from repro.dist import FRONTIER, LAPTOP, PERLMUTTER, VirtualCluster, machine_by_name
+from repro.graph import DatasetStats, GraphDataset, dataset_stats, list_datasets, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GridConfig",
+    "PlexusGCN",
+    "PlexusOptions",
+    "PlexusTrainer",
+    "TrainResult",
+    "factor_triples",
+    "select_best_config",
+    "VirtualCluster",
+    "PERLMUTTER",
+    "FRONTIER",
+    "LAPTOP",
+    "machine_by_name",
+    "GraphDataset",
+    "DatasetStats",
+    "dataset_stats",
+    "list_datasets",
+    "load_dataset",
+    "train_plexus",
+    "__version__",
+]
+
+
+def train_plexus(
+    dataset: str,
+    gpus: int = 8,
+    epochs: int = 10,
+    config: GridConfig | None = None,
+    machine=PERLMUTTER,
+    scale: str = "tiny",
+    hidden: int = 64,
+    options: PlexusOptions | None = None,
+    seed: int = 0,
+) -> TrainResult:
+    """One-call end-to-end training on a scaled synthetic dataset.
+
+    Loads the dataset, picks a 3D configuration with the Sec. 4 performance
+    model unless ``config`` is given, builds the model over a virtual
+    cluster, and trains for ``epochs`` full-graph iterations.
+    """
+    ds = load_dataset(dataset, scale=scale, seed=seed)
+    dims = [ds.n_features, hidden, hidden, ds.n_classes]
+    if config is None:
+        ranked = select_best_config(gpus, ds.paper_stats, dims, machine)
+        config = ranked[0][0]
+    cluster = VirtualCluster(gpus, machine)
+    model = PlexusGCN(
+        cluster,
+        config,
+        ds.norm_adjacency,
+        ds.features,
+        ds.labels,
+        ds.train_mask,
+        dims,
+        options or PlexusOptions(seed=seed),
+    )
+    return PlexusTrainer(model).train(epochs)

@@ -1,0 +1,114 @@
+"""Command-line interface: regenerate paper artifacts or run training.
+
+Usage::
+
+    python -m repro list                      # available experiments/datasets
+    python -m repro experiment fig8           # print a regenerated figure
+    python -m repro experiment all            # everything (slow)
+    python -m repro train --dataset reddit --gpus 8 --epochs 10
+    python -m repro select --dataset products-14m --gpus 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import PERLMUTTER, machine_by_name, train_plexus
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, loader, table1, table2, table3, table4
+from repro.graph import dataset_stats, list_datasets
+
+_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "loader": loader.run,
+}
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:", " ".join(sorted(_EXPERIMENTS)))
+    print("datasets:   ", " ".join(list_datasets()))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try: {sorted(_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        _EXPERIMENTS[name]().print()
+        print()
+    return 0
+
+
+def _cmd_train(args) -> int:
+    result = train_plexus(
+        args.dataset,
+        gpus=args.gpus,
+        epochs=args.epochs,
+        machine=machine_by_name(args.machine),
+        hidden=args.hidden,
+        seed=args.seed,
+    )
+    for i, e in enumerate(result.epochs):
+        print(f"epoch {i:3d}  loss {e.loss:.6f}  time {e.epoch_time * 1e3:9.3f} ms "
+              f"(comm {e.comm_time * 1e3:.3f} / comp {e.comp_time * 1e3:.3f})")
+    print(f"mean epoch time (skip 2 warm-up): {result.mean_epoch_time() * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from repro import select_best_config
+    from repro.experiments.common import gcn_layer_dims
+
+    st = dataset_stats(args.dataset)
+    dims = gcn_layer_dims(st.features, st.classes)
+    machine = machine_by_name(args.machine)
+    ranked = select_best_config(args.gpus, st, dims, machine, top_k=args.top)
+    print(f"best 3D configurations for {st.name} at {args.gpus} devices on {machine.name}:")
+    for cfg, t in ranked:
+        print(f"  {cfg.name:12s} predicted {t * 1e3:9.1f} ms/epoch")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and datasets").set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("experiment", help="regenerate one paper table/figure (or 'all')")
+    p.add_argument("name")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("train", help="train Plexus on a scaled synthetic dataset")
+    p.add_argument("--dataset", default="ogbn-products", choices=list_datasets())
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--hidden", type=int, default=64)
+    p.add_argument("--machine", default="perlmutter")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("select", help="rank 3D configurations with the performance model")
+    p.add_argument("--dataset", default="ogbn-products", choices=list_datasets())
+    p.add_argument("--gpus", type=int, default=64)
+    p.add_argument("--machine", default="perlmutter")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=_cmd_select)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

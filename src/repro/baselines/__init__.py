@@ -1,0 +1,32 @@
+"""Baseline distributed full-graph GNN frameworks (Sec. 6.3).
+
+The paper compares Plexus against:
+
+* **BNS-GCN** — partition parallelism (METIS) with boundary-node sampling;
+  the paper runs it at sampling rate 1.0, i.e. vanilla partition parallelism
+  exchanging all boundary features with an all-to-all per layer.
+* **SA** — the sparsity-aware CAGNET 1.5D implementation: row-partitioned A
+  and F with broadcast-based SpMM that communicates only needed features.
+* **SA+GVB** — SA on a graph pre-partitioned by a GVB-style vertex-block
+  partitioner for better balance.
+
+Each baseline here has an executable small-scale implementation (validated
+for exactness against the serial reference, like Plexus) and is also modeled
+by the analytic scale simulator for the Figs. 8-9 comparisons.
+"""
+
+from repro.baselines.partitioner import PartitionResult, bfs_partition, ldg_partition, gvb_partition, boundary_nodes
+from repro.baselines.bns_gcn import BnsGcnModel, BnsGcnOptions
+from repro.baselines.cagnet import Cagnet15D, CagnetOptions
+
+__all__ = [
+    "PartitionResult",
+    "bfs_partition",
+    "ldg_partition",
+    "gvb_partition",
+    "boundary_nodes",
+    "BnsGcnModel",
+    "BnsGcnOptions",
+    "Cagnet15D",
+    "CagnetOptions",
+]

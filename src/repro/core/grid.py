@@ -1,0 +1,208 @@
+"""The 3D virtual GPU grid (Sec. 3.1) and the per-layer axis-role rotation
+that parallelizes every layer (Sec. 3.2).
+
+Ranks are arranged in a ``Gx x Gy x Gz`` grid.  Following the paper's
+topology-aware mapping (Sec. 4.2: "prioritizing Y, X, and then Z parallelism
+within a node"), the linear rank id is ``z*(Gx*Gy) + x*Gy + y`` — Y varies
+fastest, so Y-groups pack into nodes first.
+
+Layer *i* of the network assigns the three *logical* roles (x, y, z) of
+Algorithms 1-2 to *physical* axes by rotating the triple::
+
+    layer 0: (X, Y, Z)    layer 1: (Z, X, Y)    layer 2: (Y, Z, X)
+
+which puts A_L0 on the ZX-plane, A_L1 on the YZ-plane and A_L2 on the
+XY-plane exactly as Fig. 4 shows, and makes each layer's output sharding
+coincide with the next layer's expected input sharding with only
+``min(3, L)`` distinct adjacency shardings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.dist.cluster import VirtualCluster
+from repro.dist.group import ProcessGroup, axis_bandwidth
+
+__all__ = ["Axis", "GridConfig", "AxisRoles", "axis_roles", "PlexusGrid", "map_collective"]
+
+
+class Axis(IntEnum):
+    """Physical grid axes."""
+
+    X = 0
+    Y = 1
+    Z = 2
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """A 3D configuration ``(Gx, Gy, Gz)`` of the GPU grid."""
+
+    gx: int
+    gy: int
+    gz: int
+
+    def __post_init__(self) -> None:
+        if min(self.gx, self.gy, self.gz) < 1:
+            raise ValueError("all grid dimensions must be >= 1")
+
+    @property
+    def total(self) -> int:
+        return self.gx * self.gy * self.gz
+
+    def size(self, axis: Axis) -> int:
+        return (self.gx, self.gy, self.gz)[axis]
+
+    @property
+    def name(self) -> str:
+        """The paper's naming convention, e.g. ``X2Y4Z1`` (Fig. 7 legend)."""
+        return f"X{self.gx}Y{self.gy}Z{self.gz}"
+
+    @classmethod
+    def parse(cls, name: str) -> "GridConfig":
+        """Parse ``X2Y4Z1``-style names."""
+        import re
+
+        m = re.fullmatch(r"X(\d+)Y(\d+)Z(\d+)", name.strip())
+        if not m:
+            raise ValueError(f"cannot parse grid config {name!r}")
+        return cls(int(m.group(1)), int(m.group(2)), int(m.group(3)))
+
+    @property
+    def n_parallel_dims(self) -> int:
+        """1 for 1D configs, 2 for 2D, 3 for 3D (Fig. 5's three families)."""
+        return sum(1 for g in (self.gx, self.gy, self.gz) if g > 1)
+
+    #: inner-axis product per axis under the Y-fastest rank mapping,
+    #: used by the Eq. 4.6 contention term.
+    def inner_size(self, axis: Axis) -> int:
+        if axis is Axis.Y:
+            return 1
+        if axis is Axis.X:
+            return self.gy
+        return self.gx * self.gy
+
+
+@dataclass(frozen=True)
+class AxisRoles:
+    """Mapping from a layer's logical roles to physical axes.
+
+    ``x`` is the role that shards A's columns / F's rows, ``y`` shards F's
+    columns / W's rows, ``z`` shards A's rows (and the extra sharding of
+    layer-0 F and of all W).
+    """
+
+    x: Axis
+    y: Axis
+    z: Axis
+
+    def as_tuple(self) -> tuple[Axis, Axis, Axis]:
+        return (self.x, self.y, self.z)
+
+
+_ROTATIONS = (
+    AxisRoles(Axis.X, Axis.Y, Axis.Z),
+    AxisRoles(Axis.Z, Axis.X, Axis.Y),
+    AxisRoles(Axis.Y, Axis.Z, Axis.X),
+)
+
+
+def axis_roles(layer_idx: int) -> AxisRoles:
+    """Role assignment for ``layer_idx`` (period-3 rotation, Sec. 3.2)."""
+    if layer_idx < 0:
+        raise ValueError("layer index must be non-negative")
+    return _ROTATIONS[layer_idx % 3]
+
+
+class PlexusGrid:
+    """Process groups of a 3D grid over a virtual cluster."""
+
+    def __init__(self, cluster: VirtualCluster, config: GridConfig) -> None:
+        if config.total != cluster.world_size:
+            raise ValueError(
+                f"grid {config.name} needs {config.total} ranks, cluster has {cluster.world_size}"
+            )
+        self.cluster = cluster
+        self.config = config
+        self._coords = [self._rank_to_coords(r) for r in range(config.total)]
+        self._groups: dict[Axis, list[ProcessGroup]] = {}
+        self._group_of: dict[Axis, list[ProcessGroup]] = {}
+        for axis in Axis:
+            self._build_axis_groups(axis)
+
+    # -- rank mapping --------------------------------------------------------
+    def _rank_to_coords(self, rank: int) -> tuple[int, int, int]:
+        gx, gy, _gz = self.config.gx, self.config.gy, self.config.gz
+        y = rank % gy
+        x = (rank // gy) % gx
+        z = rank // (gx * gy)
+        return (x, y, z)
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """(x, y, z) coordinates of a global rank id."""
+        return self._coords[rank]
+
+    def coord(self, rank: int, axis: Axis) -> int:
+        return self._coords[rank][axis]
+
+    # -- groups ---------------------------------------------------------------
+    def _build_axis_groups(self, axis: Axis) -> None:
+        size = self.config.size(axis)
+        bw = axis_bandwidth(self.cluster.machine, size, self.config.inner_size(axis))
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for rank in range(self.config.total):
+            c = list(self._coords[rank])
+            key_coords = tuple(c[a] for a in Axis if a != axis)
+            buckets.setdefault(key_coords, []).append(rank)
+        groups = []
+        group_of: list[ProcessGroup | None] = [None] * self.config.total
+        for key, ranks in sorted(buckets.items()):
+            # order members by their coordinate along `axis` so group order
+            # equals shard order (all-gather concatenation correctness)
+            ranks.sort(key=lambda r: self._coords[r][axis])
+            g = ProcessGroup(
+                members=[self.cluster[r] for r in ranks],
+                machine=self.cluster.machine,
+                bandwidth=bw,
+                name=f"{axis.name.lower()}{key}",
+            )
+            groups.append(g)
+            for r in ranks:
+                group_of[r] = g
+        self._groups[axis] = groups
+        self._group_of[axis] = group_of  # type: ignore[assignment]
+
+    def groups(self, axis: Axis) -> list[ProcessGroup]:
+        """All process groups along a physical axis."""
+        return self._groups[axis]
+
+    def group_of(self, rank: int, axis: Axis) -> ProcessGroup:
+        """The process group containing ``rank`` along ``axis``."""
+        return self._group_of[axis][rank]
+
+    @property
+    def world_size(self) -> int:
+        return self.config.total
+
+
+def map_collective(grid: PlexusGrid, along: Axis, per_rank: list, collective, **kwargs) -> list:
+    """Apply ``collective`` group-wise along the ``along`` grid axis.
+
+    ``per_rank`` is indexed by global rank id; the result list is too.  This
+    is the driver-side idiom for "all-reduce H across the X-parallel group"
+    style steps of Algorithms 1-2.  Extra kwargs (e.g. the concatenation
+    ``axis``) pass through to the collective.
+    """
+    if len(per_rank) != grid.world_size:
+        raise ValueError("per_rank must have one entry per rank")
+    out: list = [None] * grid.world_size
+    for group in grid.groups(along):
+        shards = [per_rank[m.rank] for m in group.members]
+        results = collective(group, shards, **kwargs)
+        for m, res in zip(group.members, results):
+            out[m.rank] = res
+    return out

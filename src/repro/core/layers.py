@@ -1,0 +1,227 @@
+"""One 3D-parallel GCN layer: Algorithms 1 (forward) and 2 (backward).
+
+The driver executes each step for every rank (real numpy math on real
+shards) and advances the rank clocks with the modeled kernel times, then
+runs the collective steps group-wise.  The layer is written once against
+*logical* roles (x, y, z); :func:`repro.core.grid.axis_roles` maps them to
+physical axes per layer, which is all that Sec. 3.2's "parallelizing all
+layers" requires.
+
+Optimizations hosted here:
+
+* **Blocked aggregation** (Sec. 5.2): with ``aggregation_blocks > 1`` the
+  forward SpMM + X-all-reduce run per row-block of the adjacency shard.
+* **Dense-matmul tuning** (Sec. 5.3): with ``tune_dw_gemm`` the grad-W
+  product is *modeled* (and on a real machine executed) as
+  ``(SGEMM(dQ^T, H))^T`` — an NT-mode kernel — instead of the pathological
+  TN mode; the numerical result is identical.
+* **SpMM variability** (Sec. 5.2's motivation): an optional
+  :class:`~repro.core.noise.SpmmNoise` inflates large per-call SpMM times
+  stochastically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.grid import Axis, PlexusGrid, map_collective
+from repro.core.noise import SpmmNoise
+from repro.core.sharding import LayerSharding
+from repro.dist.collectives import all_gather, all_reduce, reduce_scatter
+from repro.gpu.gemm import GemmMode, gemm_time
+from repro.gpu.spmm import SpmmShard, spmm_time
+from repro.nn.functional import relu
+from repro.sparse.partition import block_slices
+
+__all__ = ["LayerCache", "PlexusLayer"]
+
+
+@dataclass
+class LayerCache:
+    """Per-rank forward activations kept for the backward pass."""
+
+    #: gathered input features F (full local block), per rank
+    f: list[np.ndarray]
+    #: aggregation output H after the X-all-reduce, per rank
+    h: list[np.ndarray]
+    #: pre-activation Q after the Y-all-reduce, per rank
+    q: list[np.ndarray]
+
+
+class PlexusLayer:
+    """One GCN layer distributed over the 3D grid."""
+
+    def __init__(
+        self,
+        grid: PlexusGrid,
+        sharding: LayerSharding,
+        a_global: sp.csr_matrix,
+        w_full: np.ndarray,
+        *,
+        layer_idx: int,
+        is_first: bool,
+        is_last: bool,
+        trainable_features: bool = False,
+        aggregation_blocks: int = 1,
+        tune_dw_gemm: bool = False,
+        noise: SpmmNoise | None = None,
+        shard_cache: dict[Any, tuple] | None = None,
+    ) -> None:
+        if aggregation_blocks < 1:
+            raise ValueError("aggregation_blocks must be >= 1")
+        self.grid = grid
+        self.sharding = sharding
+        self.layer_idx = layer_idx
+        self.is_first = is_first
+        self.is_last = is_last
+        self.trainable_features = trainable_features
+        self.aggregation_blocks = aggregation_blocks
+        self.tune_dw_gemm = tune_dw_gemm
+        self.noise = noise
+        self.roles = sharding.roles
+        world = grid.world_size
+        # -- adjacency shards (possibly shared across layers via shard_cache)
+        cache_key = id(a_global), sharding.roles.as_tuple()
+        if shard_cache is not None and cache_key in shard_cache:
+            self.a_shards, self.at_shards = shard_cache[cache_key]
+        else:
+            self.a_shards = []
+            self.at_shards = []
+            for rank in range(world):
+                rs = sharding.a_row_slice(grid, rank)
+                cs = sharding.a_col_slice(grid, rank)
+                shard = a_global[rs, :][:, cs].tocsr()
+                self.a_shards.append(shard)
+                self.at_shards.append(shard.T.tocsr())
+            if shard_cache is not None:
+                shard_cache[cache_key] = (self.a_shards, self.at_shards)
+        # -- row-blocked views for blocked aggregation
+        self._a_blocks: list[list[sp.csr_matrix]] = []
+        for rank in range(world):
+            shard = self.a_shards[rank]
+            slices = block_slices(shard.shape[0], aggregation_blocks)
+            self._a_blocks.append([shard[sl, :] for sl in slices])
+        # -- weight shards: local (D_in/Gy x D_out/Gx) block, z-sub-sharded rows
+        self.w_shards: list[np.ndarray] = []
+        for rank in range(world):
+            zr = sharding.w_row_subslice_z(grid, rank)
+            cs = sharding.w_col_slice(grid, rank)
+            self.w_shards.append(w_full[zr, cs].copy())
+
+    # -- kernel-time helpers ---------------------------------------------------
+    def _spmm_advance(self, rank: int, a: sp.csr_matrix, cols: int, phase: str) -> None:
+        t = spmm_time(
+            SpmmShard(rows=a.shape[0], k=a.shape[1], cols=max(cols, 1), nnz=a.nnz),
+            self.grid.cluster[rank].device,
+        )
+        if self.noise is not None:
+            t *= self.noise.multiplier(a.nnz)
+        self.grid.cluster[rank].advance(t, phase)
+
+    def _gemm_advance(self, rank: int, m: int, n: int, k: int, mode: GemmMode, phase: str) -> None:
+        t = gemm_time(m, n, k, self.grid.cluster[rank].device, mode)
+        self.grid.cluster[rank].advance(t, phase)
+
+    # -- forward (Algorithm 1) ---------------------------------------------------
+    def forward(self, f_in: list[np.ndarray]) -> tuple[list[np.ndarray], LayerCache]:
+        """Aggregation, combination, activation for every rank.
+
+        ``f_in`` per rank: the z-sub-shard for the first layer (line 3
+        all-gathers it), or the full local F block for later layers.
+        """
+        grid, roles = self.grid, self.roles
+        world = grid.world_size
+        # Step 1 (line 3): all-gather F across the Z-parallel group (layer 0 only)
+        if self.is_first:
+            f = map_collective(grid, roles.z, f_in, all_gather, axis=0, phase="all_gather_f")
+        else:
+            f = list(f_in)
+        # Step 2 (lines 4-5): H = SpMM(A, F); all-reduce across X-parallel group
+        if self.aggregation_blocks == 1:
+            h_partial = []
+            for rank in range(world):
+                self._spmm_advance(rank, self.a_shards[rank], f[rank].shape[1], "comp:spmm_fwd")
+                h_partial.append(np.asarray(self.a_shards[rank] @ f[rank]))
+            h = map_collective(grid, roles.x, h_partial, all_reduce, phase="all_reduce_h")
+        else:
+            h = self._blocked_aggregation(f)
+        # Step 3 (lines 7-9): Q = SGEMM(H, W); all-reduce across Y-parallel group
+        w_local = map_collective(grid, roles.z, self.w_shards, all_gather, axis=0, phase="all_gather_w")
+        q_partial = []
+        for rank in range(world):
+            hr, wr = h[rank], w_local[rank]
+            self._gemm_advance(rank, hr.shape[0], wr.shape[1], hr.shape[1], GemmMode.NN, "comp:gemm_fwd")
+            q_partial.append(hr @ wr)
+        q = map_collective(grid, roles.y, q_partial, all_reduce, phase="all_reduce_q")
+        # Step 4 (line 11): non-linear activation (identity on the last layer,
+        # whose logits feed the softmax cross-entropy)
+        f_out = [q[r] if self.is_last else relu(q[r]) for r in range(world)]
+        return f_out, LayerCache(f=f, h=h, q=q)
+
+    def _blocked_aggregation(self, f: list[np.ndarray]) -> list[np.ndarray]:
+        """Sec. 5.2: per row-block SpMM + all-reduce, concatenated at the end."""
+        grid, roles = self.grid, self.roles
+        world = grid.world_size
+        out_blocks: list[list[np.ndarray]] = [[] for _ in range(world)]
+        for b in range(self.aggregation_blocks):
+            partial = []
+            for rank in range(world):
+                block = self._a_blocks[rank][b]
+                self._spmm_advance(rank, block, f[rank].shape[1], "comp:spmm_fwd")
+                partial.append(np.asarray(block @ f[rank]))
+            reduced = map_collective(grid, roles.x, partial, all_reduce, phase="all_reduce_h")
+            for rank in range(world):
+                out_blocks[rank].append(reduced[rank])
+        return [np.concatenate(blocks, axis=0) for blocks in out_blocks]
+
+    # -- backward (Algorithm 2) --------------------------------------------------
+    def backward(self, dq: list[np.ndarray], cache: LayerCache) -> tuple[list[np.ndarray] | None, list[np.ndarray]]:
+        """Returns ``(dF per rank or None, dW shard gradients per rank)``.
+
+        For the first layer ``dF`` is the z-sub-sharded input-feature
+        gradient (line 8's reduce-scatter) or ``None`` when features are
+        frozen; for other layers it is the full local block, all-reduced
+        across the Z-parallel group (the Sec. 3.2 modification).
+        """
+        grid, roles = self.grid, self.roles
+        world = grid.world_size
+        # Line 2: dW = SGEMM(H^T, dQ) — TN mode, or the Sec. 5.3 tuned NT form.
+        dw_partial = []
+        for rank in range(world):
+            h, g = cache.h[rank], dq[rank]
+            if self.tune_dw_gemm:
+                # (dQ^T @ H)^T: identical numbers, NT-mode kernel time
+                self._gemm_advance(rank, g.shape[1], h.shape[1], h.shape[0], GemmMode.NT, "comp:gemm_dw")
+                dw_partial.append((g.T @ h).T)
+            else:
+                self._gemm_advance(rank, h.shape[1], g.shape[1], h.shape[0], GemmMode.TN, "comp:gemm_dw")
+                dw_partial.append(h.T @ g)
+        # Line 3: reduce-scatter dW across Z-parallel group (W is z-sub-sharded)
+        dw = map_collective(grid, roles.z, dw_partial, reduce_scatter, axis=0, phase="reduce_scatter_dw")
+        # Line 4: all-gather W across Z-parallel group (freed after forward)
+        w_local = map_collective(grid, roles.z, self.w_shards, all_gather, axis=0, phase="all_gather_w")
+        # Lines 5-6: dH = SGEMM(dQ, W^T); all-reduce across X-parallel group
+        dh_partial = []
+        for rank in range(world):
+            g, w = dq[rank], w_local[rank]
+            self._gemm_advance(rank, g.shape[0], w.shape[0], g.shape[1], GemmMode.NT, "comp:gemm_dh")
+            dh_partial.append(g @ w.T)
+        dh = map_collective(grid, roles.x, dh_partial, all_reduce, phase="all_reduce_dh")
+        # Lines 7-8: dF = SpMM(A^T, dH); reduce-scatter (layer 0) or
+        # all-reduce (later layers) across the Z-parallel group
+        if self.is_first and not self.trainable_features:
+            return None, dw
+        df_partial = []
+        for rank in range(world):
+            at = self.at_shards[rank]
+            self._spmm_advance(rank, at, dh[rank].shape[1], "comp:spmm_bwd")
+            df_partial.append(np.asarray(at @ dh[rank]))
+        if self.is_first:
+            df = map_collective(grid, roles.z, df_partial, reduce_scatter, axis=0, phase="reduce_scatter_df")
+        else:
+            df = map_collective(grid, roles.z, df_partial, all_reduce, phase="all_reduce_df")
+        return df, dw

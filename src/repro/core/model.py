@@ -1,0 +1,202 @@
+"""The 3D-parallel multi-layer GCN (Sec. 3).
+
+Builds every layer's shards from the global (permuted) matrices, chains the
+layers through the rotating axis roles of Sec. 3.2, and exposes
+forward / backward / train-epoch entry points operating on all virtual
+ranks.  Weight initialization slices the *same* Glorot matrices the serial
+reference draws, so for any grid configuration the distributed computation
+is step-for-step comparable with :class:`repro.nn.serial.SerialGCN`
+(the Fig. 7 validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.configs import PlexusOptions
+from repro.core.grid import GridConfig, PlexusGrid, axis_roles
+from repro.core.layers import LayerCache, PlexusLayer
+from repro.core.permutation import PermutationScheme, build_scheme
+from repro.core.sharding import LayerSharding
+from repro.dist.cluster import VirtualCluster
+from repro.nn.functional import relu_grad
+from repro.nn.init import glorot_uniform
+from repro.nn.optim import Adam
+
+__all__ = ["PlexusGCN"]
+
+
+class PlexusGCN:
+    """Full-graph GCN trained with 3D tensor parallelism.
+
+    Parameters
+    ----------
+    cluster, config:
+        The virtual cluster and its 3D grid factorization.
+    a_norm:
+        Global GCN-normalized adjacency (unpermuted; permutation is applied
+        internally per the options).
+    features, labels, train_mask:
+        Global input arrays (unpermuted).
+    layer_dims:
+        ``[D_in, hidden..., n_classes]``.
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        config: GridConfig,
+        a_norm: sp.csr_matrix,
+        features: np.ndarray,
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        layer_dims: list[int],
+        options: PlexusOptions | None = None,
+    ) -> None:
+        if len(layer_dims) < 2:
+            raise ValueError("need at least two layer dims")
+        n = a_norm.shape[0]
+        if a_norm.shape != (n, n) or features.shape[0] != n:
+            raise ValueError("adjacency/features size mismatch")
+        if features.shape[1] != layer_dims[0]:
+            raise ValueError("features dim != layer_dims[0]")
+        self.options = options or PlexusOptions()
+        self.cluster = cluster
+        self.config = config
+        self.grid = PlexusGrid(cluster, config)
+        self.n = n
+        self.layer_dims = list(layer_dims)
+        self.n_classes = layer_dims[-1]
+        self.dtype = self.options.dtype
+        opts = self.options
+
+        # -- permutation preprocessing (Sec. 5.1) --------------------------
+        self.scheme: PermutationScheme = build_scheme(n, opts.permutation, opts.seed)
+        n_layers = len(layer_dims) - 1
+        parities = {i % 2 for i in range(n_layers)}
+        if self.scheme.kind == "double":
+            self._perm_a = {p: self.scheme.permuted_adjacency(a_norm, p).astype(self.dtype) for p in parities}
+        else:
+            # one permutation version only: share the matrix across parities
+            # so the adjacency shard memory stays at min(3, L) sets
+            shared = self.scheme.permuted_adjacency(a_norm, 0).astype(self.dtype)
+            self._perm_a = {p: shared for p in parities}
+
+        # -- layer construction --------------------------------------------
+        self.shardings = [
+            LayerSharding(config, axis_roles(i), n, layer_dims[i], layer_dims[i + 1])
+            for i in range(n_layers)
+        ]
+        self._shard_cache: dict = {}
+        self.layers: list[PlexusLayer] = []
+        for i in range(n_layers):
+            w_full = glorot_uniform(layer_dims[i], layer_dims[i + 1], seed=opts.seed + i, dtype=self.dtype)
+            self.layers.append(
+                PlexusLayer(
+                    self.grid,
+                    self.shardings[i],
+                    self._perm_a[i % 2],
+                    w_full,
+                    layer_idx=i,
+                    is_first=(i == 0),
+                    is_last=(i == n_layers - 1),
+                    trainable_features=opts.trainable_features,
+                    aggregation_blocks=opts.aggregation_blocks,
+                    tune_dw_gemm=opts.tune_dw_gemm,
+                    noise=opts.noise,
+                    shard_cache=self._shard_cache,
+                )
+            )
+
+        # -- input-feature shards (z-sub-sharded, Sec. 3.1) ------------------
+        f_in_global = features[self.scheme.input_perm()].astype(self.dtype)
+        s0 = self.shardings[0]
+        self.f0_shards = [
+            f_in_global[s0.f_row_subslice_z(self.grid, r), s0.f_col_slice(self.grid, r)].copy()
+            for r in range(self.grid.world_size)
+        ]
+
+        # -- label/mask shards aligned with the final output sharding --------
+        out_perm = self.scheme.output_perm(n_layers)
+        labels_out = labels[out_perm]
+        mask_out = train_mask[out_perm]
+        final = self.shardings[-1]
+        self.label_shards = []
+        self.mask_shards = []
+        self.class_slices = []
+        for r in range(self.grid.world_size):
+            rows = final.out_row_slice(self.grid, r)
+            self.label_shards.append(labels_out[rows].copy())
+            self.mask_shards.append(mask_out[rows].copy())
+            self.class_slices.append(final.out_col_slice(self.grid, r))
+
+        # -- per-rank optimizers --------------------------------------------
+        self.optimizers = []
+        for r in range(self.grid.world_size):
+            params = {f"W{i}": layer.w_shards[r] for i, layer in enumerate(self.layers)}
+            if opts.trainable_features:
+                params["F0"] = self.f0_shards[r]
+            self.optimizers.append(Adam(params, lr=opts.lr))
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def n_unique_adjacency_shardsets(self) -> int:
+        """Distinct adjacency shard sets held = min(3, L) x permutation
+        versions = min(6, L) for the double scheme (Sec. 5.1)."""
+        return len(self._shard_cache)
+
+    def memory_per_rank(self) -> list[int]:
+        """Bytes of adjacency + weight + feature shards per rank (the memory
+        model behind Sec. 5.1's overhead accounting)."""
+        world = self.grid.world_size
+        totals = [0] * world
+        seen_ids: set[int] = set()
+        for layer in self.layers:
+            for r in range(world):
+                shard = layer.a_shards[r]
+                if id(shard) not in seen_ids:
+                    seen_ids.add(id(shard))
+                    totals[r] += shard.data.nbytes + shard.indices.nbytes + shard.indptr.nbytes
+                totals[r] += layer.w_shards[r].nbytes
+        for r in range(world):
+            totals[r] += self.f0_shards[r].nbytes
+        return totals
+
+    # -- forward / backward ------------------------------------------------------
+    def forward(self) -> tuple[list[np.ndarray], list[LayerCache]]:
+        """Forward through all layers; returns per-rank logits and caches."""
+        acts = self.f0_shards
+        caches: list[LayerCache] = []
+        for layer in self.layers:
+            acts, cache = layer.forward(acts)
+            caches.append(cache)
+        return acts, caches
+
+    def backward(self, d_logits: list[np.ndarray], caches: list[LayerCache]) -> list[dict[str, np.ndarray]]:
+        """Backward through all layers; returns per-rank gradient dicts."""
+        world = self.grid.world_size
+        grads: list[dict[str, np.ndarray]] = [{} for _ in range(world)]
+        dq = d_logits
+        for i in range(self.n_layers - 1, -1, -1):
+            df, dw = self.layers[i].backward(dq, caches[i])
+            for r in range(world):
+                grads[r][f"W{i}"] = dw[r]
+            if i > 0:
+                # chain rule through the previous layer's ReLU (Eq. 2.4)
+                dq = [df[r] * relu_grad(caches[i - 1].q[r]) for r in range(world)]
+            elif df is not None and self.options.trainable_features:
+                for r in range(world):
+                    grads[r]["F0"] = df[r]
+        return grads
+
+    def apply_gradients(self, grads: list[dict[str, np.ndarray]]) -> None:
+        """Per-rank optimizer step (shard-local Adam; exact, see Fig. 7)."""
+        for r, opt in enumerate(self.optimizers):
+            opt.step(grads[r])

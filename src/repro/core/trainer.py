@@ -1,0 +1,208 @@
+"""Training loop, distributed loss, and epoch-time accounting.
+
+The loss is a masked softmax cross-entropy computed *distributed*: the final
+logits are sharded over rows (graph nodes, z-role axis) and columns (classes,
+x-role axis), so the log-softmax reductions run as small collectives along
+the class axis and the masked mean along the row axis.  Gradients then enter
+Algorithm 2 already sharded correctly — no rank ever materializes the full
+logits matrix.
+
+Timing follows the paper's protocol (Sec. 6.2): per epoch we record the
+simulated wall-clock delta of the slowest rank and the average comm/comp
+split across ranks (straggler wait inside collectives counts as
+communication, which is how load imbalance "ripples" into comm time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.grid import PlexusGrid, map_collective
+from repro.core.model import PlexusGCN
+from repro.dist.collectives import all_gather, all_reduce
+
+__all__ = ["EpochStats", "TrainResult", "distributed_masked_ce", "distributed_accuracy", "PlexusTrainer"]
+
+
+def _row_max(logits: np.ndarray) -> np.ndarray:
+    if logits.shape[1] == 0:
+        return np.full(logits.shape[0], -np.inf, dtype=logits.dtype)
+    return logits.max(axis=1)
+
+
+def distributed_masked_ce(
+    model: PlexusGCN,
+    logits: list[np.ndarray],
+) -> tuple[float, list[np.ndarray]]:
+    """Masked cross-entropy + gradient over sharded logits.
+
+    Returns the global scalar loss (identical on every rank) and the
+    per-rank ``d loss / d logits`` shards that seed Algorithm 2.
+    """
+    grid: PlexusGrid = model.grid
+    roles = model.shardings[-1].roles
+    world = grid.world_size
+    labels, masks, cslices = model.label_shards, model.mask_shards, model.class_slices
+
+    # 1) log-softmax statistics along the class (x-role) axis
+    row_max = map_collective(
+        grid, roles.x, [_row_max(l) for l in logits], all_reduce, op="max", phase="loss_max"
+    )
+    sum_exp_local = [
+        np.exp(logits[r] - row_max[r][:, None]).sum(axis=1) if logits[r].shape[1] else np.zeros_like(row_max[r])
+        for r in range(world)
+    ]
+    sum_exp = map_collective(grid, roles.x, sum_exp_local, all_reduce, phase="loss_sumexp")
+
+    # 2) gather each masked node's own-label logit from the owning class shard
+    z_local = []
+    for r in range(world):
+        c0, c1 = cslices[r].start, cslices[r].stop
+        z = np.zeros(logits[r].shape[0], dtype=logits[r].dtype)
+        owned = masks[r] & (labels[r] >= c0) & (labels[r] < c1)
+        idx = np.nonzero(owned)[0]
+        z[idx] = logits[r][idx, labels[r][idx] - c0]
+        z_local.append(z)
+    z_label = map_collective(grid, roles.x, z_local, all_reduce, phase="loss_zlabel")
+
+    # 3) masked sum + count along the row (z-role) axis
+    packed = []
+    for r in range(world):
+        nll = row_max[r] + np.log(sum_exp[r]) - z_label[r]
+        packed.append(np.array([nll[masks[r]].sum(), masks[r].sum()], dtype=np.float64))
+    totals = map_collective(grid, roles.z, packed, all_reduce, phase="loss_total")
+    total_nll, total_cnt = totals[0][0], totals[0][1]
+    if total_cnt == 0:
+        raise ValueError("empty train mask")
+    loss = float(total_nll / total_cnt)
+
+    # 4) gradient shards: (softmax - onehot)/count on masked rows
+    d_logits = []
+    for r in range(world):
+        log_s = np.log(sum_exp[r])
+        probs = np.exp(logits[r] - row_max[r][:, None] - log_s[:, None]) if logits[r].shape[1] else np.zeros_like(logits[r])
+        g = np.zeros_like(logits[r])
+        midx = np.nonzero(masks[r])[0]
+        g[midx] = probs[midx]
+        c0, c1 = cslices[r].start, cslices[r].stop
+        owned = masks[r] & (labels[r] >= c0) & (labels[r] < c1)
+        oidx = np.nonzero(owned)[0]
+        g[oidx, labels[r][oidx] - c0] -= 1.0
+        g /= total_cnt
+        d_logits.append(g)
+    return loss, d_logits
+
+
+def distributed_accuracy(model: PlexusGCN, logits: list[np.ndarray], mask_shards: list[np.ndarray]) -> float:
+    """Fraction of masked nodes predicted correctly, computed distributed."""
+    grid: PlexusGrid = model.grid
+    roles = model.shardings[-1].roles
+    world = grid.world_size
+    # gather per-shard (max value, global argmax) along the class axis
+    vals, args = [], []
+    for r in range(world):
+        l = logits[r]
+        c0 = model.class_slices[r].start
+        if l.shape[1] == 0:
+            vals.append(np.full((1, l.shape[0]), -np.inf))
+            args.append(np.zeros((1, l.shape[0]), dtype=np.int64))
+        else:
+            vals.append(l.max(axis=1)[None, :])
+            args.append((l.argmax(axis=1) + c0)[None, :])
+    g_vals = map_collective(grid, roles.x, vals, all_gather, axis=0, phase="acc_gather")
+    g_args = map_collective(grid, roles.x, args, all_gather, axis=0, phase="acc_gather")
+    packed = []
+    for r in range(world):
+        winner = g_vals[r].argmax(axis=0)
+        pred = g_args[r][winner, np.arange(g_args[r].shape[1])]
+        m = mask_shards[r]
+        correct = (pred[m] == model.label_shards[r][m]).sum()
+        packed.append(np.array([correct, m.sum()], dtype=np.float64))
+    totals = map_collective(grid, roles.z, packed, all_reduce, phase="acc_total")
+    correct, count = totals[0]
+    if count == 0:
+        raise ValueError("empty mask")
+    return float(correct / count)
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One epoch's record (one point of the scaling curves)."""
+
+    loss: float
+    #: simulated epoch time = slowest rank's clock advance, seconds
+    epoch_time: float
+    #: mean across ranks of time in comm phases (incl. straggler wait)
+    comm_time: float
+    #: mean across ranks of time in modeled kernels
+    comp_time: float
+
+
+@dataclass
+class TrainResult:
+    """Full training record (Fig. 7 curves / Figs. 8-10 timing protocol)."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    @property
+    def losses(self) -> list[float]:
+        return [e.loss for e in self.epochs]
+
+    def mean_epoch_time(self, skip: int = 2) -> float:
+        """The paper's metric: average epoch time skipping the first
+        ``skip`` warm-up epochs (Sec. 6.2 skips 2 of 10)."""
+        usable = self.epochs[skip:] if len(self.epochs) > skip else self.epochs
+        return float(np.mean([e.epoch_time for e in usable]))
+
+    def mean_breakdown(self, skip: int = 2) -> tuple[float, float]:
+        usable = self.epochs[skip:] if len(self.epochs) > skip else self.epochs
+        return (
+            float(np.mean([e.comm_time for e in usable])),
+            float(np.mean([e.comp_time for e in usable])),
+        )
+
+
+class PlexusTrainer:
+    """Drives epochs over a :class:`PlexusGCN` and records stats."""
+
+    def __init__(self, model: PlexusGCN) -> None:
+        self.model = model
+
+    def train_epoch(self) -> EpochStats:
+        model = self.model
+        cluster = model.cluster
+        t0 = cluster.max_clock()
+        comm0 = [r.timeline.total("comm:") for r in cluster]
+        comp0 = [r.timeline.total("comp:") for r in cluster]
+        logits, caches = model.forward()
+        loss, d_logits = distributed_masked_ce(model, logits)
+        grads = model.backward(d_logits, caches)
+        model.apply_gradients(grads)
+        cluster.barrier(phase="comm:epoch_sync")
+        t1 = cluster.max_clock()
+        comm = float(np.mean([r.timeline.total("comm:") - c for r, c in zip(cluster, comm0)]))
+        comp = float(np.mean([r.timeline.total("comp:") - c for r, c in zip(cluster, comp0)]))
+        return EpochStats(loss=loss, epoch_time=t1 - t0, comm_time=comm, comp_time=comp)
+
+    def train(self, epochs: int) -> TrainResult:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        result = TrainResult()
+        for _ in range(epochs):
+            result.epochs.append(self.train_epoch())
+        return result
+
+    def evaluate(self, mask_global: np.ndarray) -> float:
+        """Distributed accuracy on an arbitrary global node mask."""
+        model = self.model
+        out_perm = model.scheme.output_perm(model.n_layers)
+        mask_out = mask_global[out_perm]
+        final = model.shardings[-1]
+        shards = [
+            mask_out[final.out_row_slice(model.grid, r)]
+            for r in range(model.grid.world_size)
+        ]
+        logits, _ = model.forward()
+        return distributed_accuracy(model, logits, shards)

@@ -1,0 +1,38 @@
+"""Experiment drivers: one per table and figure of the paper's evaluation.
+
+Every driver returns an :class:`ExperimentResult` whose rows regenerate the
+corresponding table/figure series (who wins, by what factor, where the
+crossovers fall) and can print itself in the paper's layout.  The
+``benchmarks/`` tree wraps these drivers with pytest-benchmark and asserts
+the headline shape properties; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    loader,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "loader",
+]

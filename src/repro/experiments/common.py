@@ -1,0 +1,54 @@
+"""Shared result container and constants for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.format import ascii_table
+
+__all__ = ["ExperimentResult", "GCN_HIDDEN", "gcn_layer_dims", "KNOWN_FAILURES"]
+
+#: the paper's network: three GCN layers, hidden dimension 128 (Sec. 6.2)
+GCN_HIDDEN = 128
+
+
+def gcn_layer_dims(features: int, classes: int, hidden: int = GCN_HIDDEN, n_layers: int = 3) -> list[int]:
+    """``[features, 128, ..., classes]`` with ``n_layers`` GCN layers."""
+    if n_layers < 1:
+        raise ValueError("need at least one layer")
+    return [features] + [hidden] * (n_layers - 1) + [classes]
+
+
+#: failures the paper reports for the baselines (Sec. 7.1) — reproduced as
+#: annotations since they stem from the original implementations' internals.
+KNOWN_FAILURES: dict[tuple[str, str], str] = {
+    ("bns-gcn", "ogbn-papers100m"): "METIS partitioning timed out after 5 hours",
+    ("sa", "ogbn-papers100m"): "out of memory",
+    ("sa+gvb", "ogbn-papers100m"): "GVB partitioner out of memory at 32 GPUs",
+    ("sa", "isolate-3-8m"): "out of memory",
+    ("sa+gvb", "isolate-3-8m"): "out of memory",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + headers of one regenerated table/figure."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: object) -> None:
+        self.rows.append(list(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.name} ==", ascii_table(self.headers, self.rows)]
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def print(self) -> None:  # noqa: A003 - mirrors pandas-style API
+        print(self.render())

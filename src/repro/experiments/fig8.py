@@ -1,0 +1,66 @@
+"""Figure 8: strong scaling of Plexus vs SA, SA+GVB and BNS-GCN on
+Perlmutter (Reddit, Isolate-3-8M, products-14M).
+
+Headline shape properties asserted by the bench:
+
+* Reddit — SA wins at 4 GPUs but does not scale; BNS-GCN scales to ~32-64
+  then degrades; Plexus alone scales to 128 GPUs.
+* Isolate-3-8M — SA / SA+GVB fail (OOM, Sec. 7.1); BNS-GCN scales to ~64
+  then degrades; Plexus reaches 1024 with a multi-x lead at 256.
+* products-14M — BNS-GCN's inflection vs Plexus sits around 64-128 GPUs;
+  SA starts slow and scales to ~128; Plexus leads from 128 up.
+"""
+
+from __future__ import annotations
+
+from repro.dist.topology import PERLMUTTER, MachineSpec
+from repro.experiments.common import ExperimentResult, KNOWN_FAILURES, gcn_layer_dims
+from repro.graph.datasets import dataset_stats
+from repro.perf.analytic import PlexusAnalytic, bns_analytic, sa_analytic
+from repro.perf.sweep import ScalingPoint, strong_scaling_series
+
+__all__ = ["GPU_COUNTS", "comparison_series", "run"]
+
+GPU_COUNTS = {
+    "reddit": [4, 8, 16, 32, 64, 128],
+    "isolate-3-8m": [16, 32, 64, 128, 256, 512, 1024],
+    "products-14m": [8, 16, 32, 64, 128, 256, 512, 1024],
+}
+
+
+def comparison_series(
+    dataset: str,
+    gpu_counts: list[int] | None = None,
+    machine: MachineSpec = PERLMUTTER,
+) -> dict[str, list[ScalingPoint]]:
+    """framework -> scaling points for one dataset."""
+    st = dataset_stats(dataset)
+    dims = gcn_layer_dims(st.features, st.classes)
+    counts = gpu_counts or GPU_COUNTS[dataset]
+    return {
+        "plexus": strong_scaling_series(PlexusAnalytic(st, dims, machine), counts),
+        "bns-gcn": strong_scaling_series(bns_analytic(st, dims, machine), counts),
+        "sa": strong_scaling_series(sa_analytic(st, dims, machine), counts),
+        "sa+gvb": strong_scaling_series(sa_analytic(st, dims, machine, gvb=True), counts),
+    }
+
+
+def run(datasets: list[str] | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 8 series (time per epoch, ms)."""
+    datasets = datasets or list(GPU_COUNTS)
+    res = ExperimentResult("Fig. 8: strong scaling vs SOTA (Perlmutter)", ["Dataset", "Framework"] + ["ms @ G"])
+    res.headers = ["Dataset", "Framework", "Series (GPUs: ms)"]
+    for ds_name in datasets:
+        series = comparison_series(ds_name)
+        for fw, pts in series.items():
+            failure = KNOWN_FAILURES.get((fw, ds_name))
+            if failure:
+                res.add(ds_name, fw, f"not run in paper: {failure}")
+                continue
+            cells = " ".join(
+                f"{p.gpus}:{'OOM' if p.estimate.oom else f'{p.ms:.0f}'}" for p in pts
+            )
+            res.add(ds_name, fw, cells)
+    res.note("speedup claims: 6x over BNS-GCN @32 (Reddit), 9x over SA @128 (Reddit),")
+    res.note("  3.8x over BNS-GCN @256 (Isolate), 2.3x over SA @128 + 4x over BNS @256 (products-14M)")
+    return res

@@ -1,0 +1,52 @@
+"""Figure 9: epoch-time breakdown of BNS-GCN vs Plexus on products-14M,
+32-256 GPUs of Perlmutter.
+
+Reproduced shape: at 32 GPUs BNS-GCN's fine-grained communication beats
+Plexus's dense collectives; by 64-128 the all-to-all inefficiency flips the
+ordering; Plexus's computation time keeps shrinking with GPU count while
+BNS-GCN's stalls (its per-partition work includes ever more boundary
+nodes — the 18M -> 22M total-node growth the paper measures).
+"""
+
+from __future__ import annotations
+
+from repro.dist.topology import PERLMUTTER
+from repro.experiments.common import ExperimentResult, gcn_layer_dims
+from repro.graph.datasets import dataset_stats
+from repro.perf.analytic import PlexusAnalytic, bns_analytic
+from repro.perf.sweep import best_plexus_config
+
+__all__ = ["breakdown", "run"]
+
+GPU_COUNTS = [32, 64, 128, 256]
+
+
+def breakdown(dataset: str = "products-14m", gpu_counts: list[int] | None = None):
+    """gpus -> {framework: EpochEstimate} plus the boundary-growth metric."""
+    st = dataset_stats(dataset)
+    dims = gcn_layer_dims(st.features, st.classes)
+    plexus = PlexusAnalytic(st, dims, PERLMUTTER)
+    bns = bns_analytic(st, dims, PERLMUTTER)
+    out = {}
+    for g in gpu_counts or GPU_COUNTS:
+        _, pe = best_plexus_config(plexus, g)
+        out[g] = {
+            "plexus": pe,
+            "bns-gcn": bns.epoch_estimate(g),
+            "bns_total_nodes": bns.total_nodes_with_boundary(g),
+        }
+    return out
+
+
+def run() -> ExperimentResult:
+    """Regenerate the Fig. 9 stacked bars as comm/comp rows."""
+    res = ExperimentResult(
+        "Fig. 9: breakdown of BNS-GCN and Plexus, products-14M (Perlmutter)",
+        ["GPUs", "Framework", "Comm (ms)", "Comp (ms)", "Total (ms)", "BNS nodes incl. boundary"],
+    )
+    for g, row in breakdown().items():
+        bns, plexus = row["bns-gcn"], row["plexus"]
+        res.add(g, "BNS-GCN", f"{bns.comm * 1e3:.0f}", f"{bns.comp * 1e3:.0f}", f"{bns.total * 1e3:.0f}", f"{row['bns_total_nodes'] / 1e6:.1f}M")
+        res.add(g, "Plexus", f"{plexus.comm * 1e3:.0f}", f"{plexus.comp * 1e3:.0f}", f"{plexus.total * 1e3:.0f}", "-")
+    res.note("paper: BNS total nodes incl. boundary grow 18M -> 22M from 32 to 256 GPUs")
+    return res

@@ -1,0 +1,29 @@
+"""Calibrated GPU kernel models.
+
+The paper's computation model (Sec. 4.1) treats SpMM time as a function of
+FLOPs and shard shape; Table 2 profiles the kernel with Nsight Compute.  We
+reproduce both with an explicit row-splitting CTA model for SpMM (after
+Yang et al., the design the paper cites) and a mode-aware GEMM model
+(Sec. 5.3's NN/NT/TN/TT asymmetry).  Throughput constants live on
+:class:`~repro.gpu.device.DeviceSpec` and are calibrated per machine.
+"""
+
+from repro.gpu.device import DeviceSpec, A100_40GB, A100_80GB, MI250X_GCD, CPU_DEVICE
+from repro.gpu.spmm import SpmmShard, spmm_kernel_profile, spmm_time
+from repro.gpu.gemm import GemmMode, gemm_time, gemm_flops
+from repro.gpu.profiler import KernelProfile
+
+__all__ = [
+    "DeviceSpec",
+    "A100_40GB",
+    "A100_80GB",
+    "MI250X_GCD",
+    "CPU_DEVICE",
+    "SpmmShard",
+    "spmm_kernel_profile",
+    "spmm_time",
+    "GemmMode",
+    "gemm_time",
+    "gemm_flops",
+    "KernelProfile",
+]

@@ -1,0 +1,45 @@
+"""Graph datasets: synthetic structural equivalents of the paper's six graphs.
+
+The paper's evaluation datasets (Table 4) range from Reddit (233 K nodes) to
+ogbn-papers100M (111 M nodes / 1.6 B edges).  The raw data and the machines
+that can hold it are unavailable here, so each dataset is represented two
+ways:
+
+* ``stats`` — the exact Table 4 row (nodes, edges, nonzeros, features,
+  classes), which is all the full-scale analytic performance model needs;
+* ``load()`` — a scaled synthetic graph from a generator chosen to match the
+  original's structure (RMAT for the social/co-purchase/citation graphs, a
+  dense stochastic block model for the protein-similarity graph, a spatially
+  ordered road lattice for europe_osm), which the executable training engine
+  and load-balance experiments run on.
+"""
+
+from repro.graph.generators import rmat_graph, sbm_graph, road_network_graph
+from repro.graph.features import synth_features, degree_labels, random_split_masks
+from repro.graph.datasets import (
+    GraphDataset,
+    DatasetStats,
+    DATASETS,
+    dataset_stats,
+    load_dataset,
+    list_datasets,
+)
+from repro.graph.shardio import save_sharded, ShardedDataLoader, LoadReport
+
+__all__ = [
+    "rmat_graph",
+    "sbm_graph",
+    "road_network_graph",
+    "synth_features",
+    "degree_labels",
+    "random_split_masks",
+    "GraphDataset",
+    "DatasetStats",
+    "DATASETS",
+    "dataset_stats",
+    "load_dataset",
+    "list_datasets",
+    "save_sharded",
+    "ShardedDataLoader",
+    "LoadReport",
+]

@@ -1,0 +1,153 @@
+"""Synthetic graph generators matching the structural families of Table 4.
+
+* :func:`rmat_graph` — recursive-matrix (Kronecker) generator: power-law
+  degrees plus hierarchical community structure.  Stand-in for Reddit,
+  ogbn-products, products-14M and ogbn-papers100M, whose load-imbalance
+  behaviour is driven by exactly those two properties.
+* :func:`sbm_graph` — stochastic block model with dense within-cluster
+  connectivity: stand-in for Isolate-3-8M, a protein-similarity network of
+  near-clique isolates (HipMCL data).
+* :func:`road_network_graph` — perturbed 2D lattice with nodes emitted in
+  spatial (row-major) order: stand-in for europe_osm.  The spatial ordering
+  concentrates nonzeros near the diagonal, reproducing the severe block
+  imbalance the paper's Table 3 starts from.
+
+All generators return symmetric (undirected) scipy CSR adjacency matrices
+with binary weights and no self loops; normalization is applied later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.ops import to_csr
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["rmat_graph", "sbm_graph", "road_network_graph"]
+
+
+def _dedupe_symmetrize(rows: np.ndarray, cols: np.ndarray, n: int) -> sp.csr_matrix:
+    """Build a binary symmetric CSR from directed edge endpoints."""
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    data = np.ones(rows.size, dtype=np.float64)
+    a = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+    a = a + a.T
+    a = to_csr(a)
+    a.data[:] = 1.0
+    return a
+
+
+def rmat_graph(
+    n: int,
+    avg_degree: float,
+    seed: int | np.random.Generator = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> sp.csr_matrix:
+    """R-MAT generator (Chakrabarti et al.) with the Graph500 parameters.
+
+    Draws ``n * avg_degree / 2`` directed edges by recursively descending a
+    2^k x 2^k quadrant tree, then symmetrizes.  Vertices are kept in RMAT's
+    natural order, which is degree-correlated — high-degree vertices cluster
+    at low ids, producing the uneven 2D block density Plexus's permutations
+    are designed to fix.
+    """
+    if n <= 1:
+        raise ValueError("need at least 2 nodes")
+    if avg_degree <= 0:
+        raise ValueError("avg_degree must be positive")
+    d = 1.0 - a - b - c
+    if d <= 0 or min(a, b, c) <= 0:
+        raise ValueError("RMAT probabilities must be positive and sum below 1")
+    rng = rng_from_seed(seed)
+    levels = max(1, int(np.ceil(np.log2(n))))
+    n_edges = int(round(n * avg_degree / 2.0))
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    # Per level decide the quadrant for every edge at once (vectorized).
+    for _ in range(levels):
+        r = rng.random(n_edges)
+        right = (r >= a) & (r < a + b)          # NE quadrant: col bit set
+        down = (r >= a + b) & (r < a + b + c)   # SW quadrant: row bit set
+        both = r >= a + b + c                   # SE quadrant: both bits
+        rows = rows * 2 + (down | both)
+        cols = cols * 2 + (right | both)
+    size = 1 << levels
+    # Fold overflow ids (when n is not a power of two) back into range while
+    # roughly preserving locality.
+    rows = (rows * n) // size
+    cols = (cols * n) // size
+    return _dedupe_symmetrize(rows, cols, n)
+
+
+def sbm_graph(
+    n: int,
+    n_blocks: int,
+    avg_degree: float,
+    seed: int | np.random.Generator = 0,
+    out_fraction: float = 0.05,
+) -> sp.csr_matrix:
+    """Sparse stochastic block model with dense clusters.
+
+    ``1 - out_fraction`` of the edge budget lands inside blocks (near-clique
+    protein isolates), the rest between uniformly random block pairs.
+    """
+    if n_blocks <= 0 or n_blocks > n:
+        raise ValueError("need 1 <= n_blocks <= n")
+    if not (0 <= out_fraction < 1):
+        raise ValueError("out_fraction must be in [0, 1)")
+    rng = rng_from_seed(seed)
+    n_edges = int(round(n * avg_degree / 2.0))
+    n_out = int(round(n_edges * out_fraction))
+    n_in = n_edges - n_out
+    block = rng.integers(0, n_blocks, size=n)
+    order = np.argsort(block, kind="stable")
+    bounds = np.searchsorted(block[order], np.arange(n_blocks + 1))
+    sizes = np.diff(bounds)
+    # within-block edges: pick a block weighted by size^2, then two members
+    weights = sizes.astype(np.float64) ** 2
+    weights[sizes < 2] = 0.0
+    if weights.sum() == 0:
+        raise ValueError("all blocks degenerate; lower n_blocks")
+    weights /= weights.sum()
+    picks = rng.choice(n_blocks, size=n_in, p=weights)
+    lo, hi = bounds[picks], bounds[picks + 1]
+    u = order[lo + (rng.random(n_in) * (hi - lo)).astype(np.int64)]
+    v = order[lo + (rng.random(n_in) * (hi - lo)).astype(np.int64)]
+    # between-block edges: uniform pairs
+    u2 = rng.integers(0, n, size=n_out)
+    v2 = rng.integers(0, n, size=n_out)
+    return _dedupe_symmetrize(np.concatenate([u, u2]), np.concatenate([v, v2]), n)
+
+
+def road_network_graph(n: int, seed: int | np.random.Generator = 0, drop_fraction: float = 0.08, shortcut_fraction: float = 0.01) -> sp.csr_matrix:
+    """Perturbed 2D lattice in row-major spatial order (europe_osm stand-in).
+
+    Road networks are near-planar with average degree ~2 and strong spatial
+    locality; emitting vertices in row-major grid order reproduces the
+    banded adjacency structure that makes naive 2D sharding badly imbalanced
+    (Table 3's "Original" row).
+    """
+    if n < 4:
+        raise ValueError("need at least 4 nodes")
+    rng = rng_from_seed(seed)
+    side = int(np.floor(np.sqrt(n)))
+    ids = np.arange(side * side).reshape(side, side)
+    right = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    down = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    edges = np.concatenate([right, down], axis=0)
+    keep = rng.random(len(edges)) >= drop_fraction
+    edges = edges[keep]
+    n_short = int(round(len(edges) * shortcut_fraction))
+    if n_short:
+        extra = rng.integers(0, side * side, size=(n_short, 2))
+        edges = np.concatenate([edges, extra], axis=0)
+    # attach any leftover ids (n may not be a perfect square) with one edge
+    leftover = np.arange(side * side, n)
+    if leftover.size:
+        anchors = rng.integers(0, side * side, size=leftover.size)
+        edges = np.concatenate([edges, np.stack([leftover, anchors], axis=1)], axis=0)
+    return _dedupe_symmetrize(edges[:, 0], edges[:, 1], n)

@@ -1,0 +1,24 @@
+"""Weight initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["glorot_uniform"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, seed: int | np.random.Generator = 0, dtype=np.float64) -> np.ndarray:
+    """Glorot/Xavier uniform init — the standard for GCN weight matrices.
+
+    Determinism matters doubly here: the distributed model must initialize
+    its weight *shards* to exactly the rows/cols of this matrix so that
+    Fig. 7's loss-curve comparison is exact, so every caller passes the same
+    seed and slices the result.
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan dimensions must be positive")
+    rng = rng_from_seed(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(dtype)

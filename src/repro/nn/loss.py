@@ -1,0 +1,60 @@
+"""Masked cross-entropy loss for node classification.
+
+Full-graph training computes logits for every node but the loss only over
+the labeled training nodes (the mask).  The gradient is the standard
+``softmax - onehot`` restricted to masked rows and divided by the masked
+count, which is what the distributed loss in ``repro.core.trainer``
+reproduces shard-locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+__all__ = ["masked_cross_entropy", "masked_cross_entropy_grad", "accuracy"]
+
+
+def _check(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray) -> None:
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2D (nodes x classes)")
+    n = logits.shape[0]
+    if labels.shape != (n,) or mask.shape != (n,):
+        raise ValueError("labels/mask must be 1D of length n")
+    if mask.dtype != bool:
+        raise ValueError("mask must be boolean")
+
+
+def masked_cross_entropy(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray) -> float:
+    """Mean negative log-likelihood over masked nodes."""
+    _check(logits, labels, mask)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("empty mask: no nodes contribute to the loss")
+    lsm = log_softmax(logits[mask], axis=1)
+    picked = lsm[np.arange(count), labels[mask]]
+    return float(-picked.mean())
+
+
+def masked_cross_entropy_grad(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """d loss / d logits: ``(softmax - onehot) / n_masked`` on masked rows."""
+    _check(logits, labels, mask)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("empty mask: no nodes contribute to the loss")
+    grad = np.zeros_like(logits)
+    probs = softmax(logits[mask], axis=1)
+    probs[np.arange(count), labels[mask]] -= 1.0
+    grad[mask] = probs / count
+    return grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray) -> float:
+    """Fraction of masked nodes whose argmax logit matches the label."""
+    _check(logits, labels, mask)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("empty mask")
+    pred = logits[mask].argmax(axis=1)
+    return float((pred == labels[mask]).mean())

@@ -1,0 +1,85 @@
+"""Optimizers operating on dicts of named parameter arrays.
+
+Both the serial reference and every virtual rank of the distributed engine
+instantiate one of these over their (shard-local) parameters.  Because the
+distributed gradients are mathematically exact (Sec. 3's algorithm makes no
+approximation), running the same optimizer shard-locally is equivalent to
+the serial update — the property Fig. 7 demonstrates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Base: tracks named parameters, applies in-place updates."""
+
+    def __init__(self, params: dict[str, np.ndarray], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+
+    @abstractmethod
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        """Apply one update given gradients keyed like the parameters."""
+
+    def _check(self, grads: dict[str, np.ndarray]) -> None:
+        for name, g in grads.items():
+            if name not in self.params:
+                raise KeyError(f"gradient for unknown parameter {name!r}")
+            if g.shape != self.params[name].shape:
+                raise ValueError(
+                    f"gradient shape {g.shape} != parameter shape "
+                    f"{self.params[name].shape} for {name!r}"
+                )
+
+
+class SGD(Optimizer):
+    """Plain gradient descent (used in validation tests for exactness)."""
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        self._check(grads)
+        for name, g in grads.items():
+            self.params[name] -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction — the paper's optimizer."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        lr: float = 1e-2,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        self._check(grads)
+        self.t += 1
+        b1t = 1.0 - self.beta1**self.t
+        b2t = 1.0 - self.beta2**self.t
+        for name, g in grads.items():
+            m = self.m[name]
+            v = self.v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            m_hat = m / b1t
+            v_hat = v / b2t
+            self.params[name] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

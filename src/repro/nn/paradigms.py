@@ -1,0 +1,164 @@
+"""The four GNN training paradigms of Fig. 1 / Sec. 2.2, executable.
+
+The paper motivates full-graph training by contrasting four quadrants:
+
+* **full-graph, no sampling** — every node, every edge (what Plexus scales);
+* **mini-batch, no sampling** — a node subset per step, aggregating over its
+  exact K-hop neighborhood, which suffers *neighborhood explosion*;
+* **mini-batch + sampling** — GraphSAGE-style fixed-fanout neighbor
+  sampling, the mainstream default, trading exactness for memory;
+* **full-graph + sampling** — all nodes, random edge subset.
+
+These are implemented serially (they are the paper's *motivation*, not its
+contribution) with a shared helper for K-hop expansion so the explosion is
+measurable: :func:`khop_neighborhood` on the Reddit-like graphs reaches most
+of the graph within 2-3 hops, which is exactly the Sec. 1 argument for
+distributed full-graph training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.loss import masked_cross_entropy
+from repro.nn.serial import SerialGCN
+from repro.sparse.ops import to_csr
+from repro.utils.rng import rng_from_seed
+
+__all__ = [
+    "khop_neighborhood",
+    "sample_fanout_subgraph",
+    "sample_edges",
+    "minibatch_loss",
+    "sampled_minibatch_loss",
+    "full_graph_sampled_loss",
+]
+
+
+def khop_neighborhood(a: sp.csr_matrix, seeds: np.ndarray, k: int) -> np.ndarray:
+    """Node ids reachable from ``seeds`` within ``k`` hops (seeds included).
+
+    The size of this set as a function of ``k`` *is* the neighborhood
+    explosion: a K-layer GCN evaluating a mini-batch must aggregate over
+    exactly these nodes (Sec. 1).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    frontier = np.unique(np.asarray(seeds))
+    visited = frontier
+    indptr, indices = a.indptr, a.indices
+    for _ in range(k):
+        neigh = np.unique(np.concatenate([indices[indptr[v] : indptr[v + 1]] for v in frontier])) if frontier.size else frontier
+        frontier = np.setdiff1d(neigh, visited, assume_unique=False)
+        if frontier.size == 0:
+            break
+        visited = np.union1d(visited, frontier)
+    return visited
+
+
+def sample_fanout_subgraph(
+    a: sp.csr_matrix, seeds: np.ndarray, k: int, fanout: int, seed: int | np.random.Generator = 0
+) -> tuple[np.ndarray, sp.csr_matrix]:
+    """GraphSAGE-style sampling: keep at most ``fanout`` neighbors per node
+    per hop.  Returns (kept node ids, adjacency restricted to kept edges).
+    """
+    if fanout <= 0:
+        raise ValueError("fanout must be positive")
+    rng = rng_from_seed(seed)
+    indptr, indices = a.indptr, a.indices
+    frontier = np.unique(np.asarray(seeds))
+    visited = set(frontier.tolist())
+    rows, cols = [], []
+    for _ in range(k):
+        next_frontier: set[int] = set()
+        for v in frontier:
+            neigh = indices[indptr[v] : indptr[v + 1]]
+            if neigh.size > fanout:
+                neigh = rng.choice(neigh, size=fanout, replace=False)
+            for u in neigh:
+                rows.append(v)
+                cols.append(int(u))
+                if int(u) not in visited:
+                    next_frontier.add(int(u))
+        visited.update(next_frontier)
+        frontier = np.fromiter(next_frontier, dtype=np.int64) if next_frontier else np.empty(0, dtype=np.int64)
+    nodes = np.array(sorted(visited), dtype=np.int64)
+    remap = {int(g): i for i, g in enumerate(nodes)}
+    n = len(nodes)
+    data = np.ones(len(rows))
+    sub = sp.coo_matrix(
+        (data, ([remap[r] for r in rows], [remap[c] for c in cols])), shape=(n, n)
+    )
+    sub = to_csr(sub + sub.T)
+    sub.data[:] = 1.0
+    return nodes, sub
+
+
+def sample_edges(a: sp.csr_matrix, keep_prob: float, seed: int | np.random.Generator = 0) -> sp.csr_matrix:
+    """Full-graph edge sampling (Fig. 1 bottom-left): keep each undirected
+    edge independently with ``keep_prob``, rescaling kept weights by
+    ``1/keep_prob`` to stay unbiased in expectation."""
+    if not (0 < keep_prob <= 1):
+        raise ValueError("keep_prob must be in (0, 1]")
+    if keep_prob == 1.0:
+        return a.copy()
+    rng = rng_from_seed(seed)
+    coo = sp.triu(a, k=0).tocoo()
+    keep = rng.random(coo.nnz) < keep_prob
+    kept = sp.coo_matrix((coo.data[keep] / keep_prob, (coo.row[keep], coo.col[keep])), shape=a.shape)
+    upper = sp.triu(kept, k=1)
+    return to_csr(kept + upper.T)
+
+
+def minibatch_loss(
+    model: SerialGCN,
+    a_norm: sp.csr_matrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch: np.ndarray,
+) -> float:
+    """Exact mini-batch loss (Fig. 1 top-right): full K-hop aggregation.
+
+    Runs the model on the K-hop-induced subgraph; because aggregation uses
+    the original normalized edge weights over the complete neighborhood,
+    batch logits equal the full-graph logits restricted to the batch.
+    """
+    k = model.n_layers
+    nodes = khop_neighborhood(a_norm, batch, k)
+    sub = a_norm[nodes][:, nodes]
+    logits = model.forward(sub, features[nodes])
+    local = np.isin(nodes, batch)
+    return masked_cross_entropy(logits, labels[nodes], local)
+
+
+def sampled_minibatch_loss(
+    model: SerialGCN,
+    a_norm: sp.csr_matrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch: np.ndarray,
+    fanout: int,
+    seed: int = 0,
+) -> float:
+    """Mini-batch + neighbor sampling (Fig. 1 bottom-right): approximate."""
+    from repro.sparse.ops import gcn_normalize
+
+    nodes, sub = sample_fanout_subgraph(a_norm, batch, model.n_layers, fanout, seed)
+    logits = model.forward(gcn_normalize(sub), features[nodes])
+    local = np.isin(nodes, batch)
+    return masked_cross_entropy(logits, labels[nodes], local)
+
+
+def full_graph_sampled_loss(
+    model: SerialGCN,
+    a_norm: sp.csr_matrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    mask: np.ndarray,
+    keep_prob: float,
+    seed: int = 0,
+) -> float:
+    """Full-graph + edge sampling (Fig. 1 bottom-left): approximate."""
+    a_sampled = sample_edges(a_norm, keep_prob, seed)
+    return masked_cross_entropy(model.forward(a_sampled, features), labels, mask)

@@ -1,0 +1,121 @@
+"""Calibration constants for the analytic scale models.
+
+Everything here is a named, documented constant so the Figs. 8-10 shapes can
+be audited: the *structure* of the models lives in ``repro.perf.analytic``,
+the tuned magnitudes live here.  Constants were fitted once against the
+paper's reported values (Fig. 6's bars, Fig. 9's breakdown, Sec. 7.1's
+boundary-growth anecdote) and are not adjusted per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BoundaryModel", "PlexusCalibration", "PartitionCalibration", "IMBALANCE_BY_SCHEME"]
+
+
+#: max/mean nonzero imbalance across 2D shards by permutation scheme.
+#: "double" is Table 3's measured 1.001; "single"/"none" are representative
+#: mid-range values (Table 3 reports 3.24 / 7.70 for europe_osm; power-law
+#: graphs sit lower).
+IMBALANCE_BY_SCHEME: dict[str, float] = {"none": 5.0, "single": 2.2, "double": 1.001}
+
+
+@dataclass(frozen=True)
+class BoundaryModel:
+    """Boundary-node growth for partition-parallel baselines.
+
+    ``total_boundary(P) = frac_ref * N * (P / p_ref)**gamma`` (capped at
+    ``cap_frac * N``) — a power law through the paper's Sec. 7.1 data point
+    for products-14M: total nodes incl. boundary 18M at P=32 and 22M at
+    P=256 gives frac_ref=0.263, gamma=0.35.  Denser graphs cut more edges,
+    so their ``frac_ref`` is higher.
+    """
+
+    frac_ref: float = 0.263
+    p_ref: int = 32
+    gamma: float = 0.35
+    cap_frac: float = 3.0
+
+    def total_boundary(self, n_nodes: int, p: int) -> float:
+        """Sum over partitions of external nodes needed (can exceed N)."""
+        if p <= 1:
+            return 0.0
+        frac = self.frac_ref * (p / self.p_ref) ** self.gamma
+        return min(frac, self.cap_frac) * n_nodes
+
+
+#: per-dataset boundary models.  frac_ref grows with density: BFS/METIS cut
+#: few edges on road networks, many on dense protein/social graphs.
+BOUNDARY_BY_DATASET: dict[str, BoundaryModel] = {
+    "reddit": BoundaryModel(frac_ref=0.85, gamma=0.30),
+    "ogbn-products": BoundaryModel(frac_ref=0.45, gamma=0.33),
+    "isolate-3-8m": BoundaryModel(frac_ref=0.60, gamma=0.33),
+    "products-14m": BoundaryModel(frac_ref=0.263, gamma=0.35),
+    "europe_osm": BoundaryModel(frac_ref=0.02, gamma=0.45),
+    "ogbn-papers100m": BoundaryModel(frac_ref=0.50, gamma=0.33),
+}
+
+
+@dataclass(frozen=True)
+class PlexusCalibration:
+    """Constants of the Plexus analytic model."""
+
+    #: SpMM variability threshold/scale (Sec. 5.2's observed effect): calls
+    #: above this local-nonzero count suffer the expected slowdown below.
+    variability_threshold_nnz: float = 2.0e7
+    variability_mean_slowdown: float = 1.18
+    variability_max_slowdown: float = 1.55
+    #: per-collective-call fixed software overhead (launch + NCCL setup)
+    collective_overhead_s: float = 30e-6
+    #: fraction of aggregation all-reduce left visible when blocked
+    #: aggregation pipelines it behind per-block SpMMs (Sec. 5.2)
+    blocked_comm_visible_frac: float = 0.35
+
+
+@dataclass(frozen=True)
+class PartitionCalibration:
+    """Constants shared by the BNS-GCN / SA analytic models."""
+
+    #: all-to-all achieves a fraction of the ring-collective bandwidth at
+    #: scale (long-distance messages contend on the dragonfly, Sec. 7.1)
+    alltoall_efficiency: float = 0.25
+    #: per-destination message overhead of the personalized all-to-all:
+    #: with P-1 peers the boundary splinters into tiny messages, which is
+    #: what makes BNS-GCN collapse beyond ~64-128 GPUs
+    alltoall_msg_latency: float = 1.0e-4
+    #: partition-quality degradation: max/mean local-work ratio grows as
+    #: partitions multiply and dense subgraphs get divided (Sec. 7.1)
+    imbalance_ref: float = 1.25
+    imbalance_gamma: float = 0.18
+    imbalance_p_ref: int = 8
+    #: bytes copied per gathered feature element (buffer assembly)
+    gather_copy_passes: float = 1.5
+    #: autograd live-activation multiplier for the memory model (forward
+    #: activations retained for backward, per layer)
+    activation_memory_factor: float = 3.0
+    #: SA's broadcast-style exchange efficiency (large contiguous sends)
+    sa_bcast_efficiency: float = 0.5
+
+    def imbalance(self, p: int) -> float:
+        """max/mean per-rank work ratio at ``p`` partitions."""
+        if p <= 1:
+            return 1.0
+        return self.imbalance_ref * (p / self.imbalance_p_ref) ** self.imbalance_gamma
+
+
+def sa_needed_rows(n_nodes: int, nnz: int, p: int) -> float:
+    """Expected distinct feature rows one CAGNET 1D rank must receive.
+
+    A rank owns ``nnz/p`` nonzeros whose column indices are spread over all
+    ``n`` nodes; under the random-graph expectation the number of *distinct*
+    columns touched is ``n * (1 - exp(-nnz/(p*n)))`` (coupon collector).
+    This is the volume the sparsity-aware exchange actually moves — nearly
+    all of ``n`` at small ``p`` (why SA starts slow on power-law graphs) and
+    shrinking with ``p`` (why it scales decently to ~128 GPUs, Fig. 8).
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    import math
+
+    return n_nodes * (1.0 - math.exp(-nnz / (p * float(n_nodes))))

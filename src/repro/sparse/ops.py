@@ -1,0 +1,92 @@
+"""CSR adjacency-matrix operations (Sec. 2.1 preprocessing).
+
+Prior to training, self-loops are added to ``A`` so each node's learned
+representation includes its own features, and each edge ``A[u, v]`` is scaled
+by ``1/sqrt(d_u * d_v)`` — the Kipf & Welling normalization the paper adopts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["to_csr", "add_self_loops", "sym_normalize", "gcn_normalize", "spmm", "random_sparse"]
+
+
+def to_csr(a: sp.spmatrix | sp.sparray | np.ndarray, dtype=np.float64) -> sp.csr_matrix:
+    """Coerce any matrix-like into canonical CSR with the requested dtype."""
+    mat = sp.csr_matrix(a, dtype=dtype)
+    mat.sum_duplicates()
+    mat.eliminate_zeros()
+    return mat
+
+
+def add_self_loops(a: sp.csr_matrix) -> sp.csr_matrix:
+    """Return ``A + I`` (idempotent on the diagonal: existing loops become 1).
+
+    The paper counts "non-zeros" of Table 4 after this step, which is why
+    every dataset row has ``nnz >= edges + nodes`` there.
+    """
+    n, m = a.shape
+    if n != m:
+        raise ValueError(f"adjacency matrix must be square, got {a.shape}")
+    out = a.tolil(copy=True)
+    out.setdiag(1.0)
+    return to_csr(out, dtype=a.dtype)
+
+
+def sym_normalize(a: sp.csr_matrix) -> sp.csr_matrix:
+    """Scale each entry ``A[u, v]`` by ``1/sqrt(d_u * d_v)`` (Sec. 2.1).
+
+    Degrees are row sums of the (self-looped) matrix.  Isolated rows keep a
+    zero scale instead of dividing by zero.
+    """
+    n, m = a.shape
+    if n != m:
+        raise ValueError(f"adjacency matrix must be square, got {a.shape}")
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(deg)
+    nz = deg > 0
+    inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
+    d = sp.diags(inv_sqrt)
+    return to_csr(d @ a @ d, dtype=a.dtype)
+
+
+def gcn_normalize(a: sp.csr_matrix | sp.spmatrix) -> sp.csr_matrix:
+    """Full GCN preprocessing: self loops, then symmetric normalization."""
+    return sym_normalize(add_self_loops(to_csr(a)))
+
+
+def gin_normalize(a: sp.csr_matrix | sp.spmatrix, eps: float = 0.0) -> sp.csr_matrix:
+    """GIN-style aggregation operator: ``A + (1 + eps) I``, unnormalized.
+
+    The paper notes GCN "serves as the foundation" for GIN (Sec. 1); because
+    Plexus only ever multiplies by the preprocessed operator, swapping this
+    in trains a GIN-flavoured aggregation with the identical 3D machinery —
+    the self-contribution is folded into the sparse matrix so no cross-plane
+    resharding of F is needed.
+    """
+    if eps <= -1.0:
+        raise ValueError("eps must be > -1 (the self weight 1+eps must stay positive)")
+    mat = to_csr(a).tolil(copy=True)
+    mat.setdiag(mat.diagonal() + 1.0 + eps)
+    return to_csr(mat)
+
+
+def spmm(a: sp.csr_matrix, f: np.ndarray) -> np.ndarray:
+    """Sparse @ dense (Eq. 2.1).  Kept as a seam so the simulated-GPU layer
+    can wrap it with kernel-time accounting."""
+    if a.shape[1] != f.shape[0]:
+        raise ValueError(f"SpMM shape mismatch: {a.shape} @ {f.shape}")
+    return np.asarray(a @ f)
+
+
+def random_sparse(n_rows: int, n_cols: int, density: float, rng: np.random.Generator, dtype=np.float64) -> sp.csr_matrix:
+    """Uniform random sparse matrix for tests (not a graph generator)."""
+    if not (0 <= density <= 1):
+        raise ValueError("density must be within [0, 1]")
+    nnz = int(round(density * n_rows * n_cols))
+    rows = rng.integers(0, n_rows, size=nnz) if n_rows else np.empty(0, dtype=int)
+    cols = rng.integers(0, n_cols, size=nnz) if n_cols else np.empty(0, dtype=int)
+    vals = rng.standard_normal(nnz)
+    return to_csr(sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols)), dtype=dtype)

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG handling and light logging helpers."""
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+from repro.utils.format import format_bytes, format_time, ascii_table
+
+__all__ = ["rng_from_seed", "spawn_rngs", "format_bytes", "format_time", "ascii_table"]

@@ -1,0 +1,182 @@
+"""Tests for the baselines: partitioners, BNS-GCN, CAGNET-SA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BnsGcnModel,
+    BnsGcnOptions,
+    Cagnet15D,
+    CagnetOptions,
+    bfs_partition,
+    boundary_nodes,
+    gvb_partition,
+    ldg_partition,
+)
+from repro.baselines.cagnet import block_partition
+from repro.dist import PERLMUTTER, VirtualCluster
+from repro.nn import Adam, SerialGCN
+
+
+@pytest.fixture(scope="module")
+def ds(tiny_products):
+    return tiny_products
+
+
+@pytest.fixture(scope="module")
+def dims(tiny_products):
+    return [tiny_products.n_features, 12, 12, tiny_products.n_classes]
+
+
+@pytest.fixture(scope="module")
+def serial3(tiny_products, dims):
+    m = SerialGCN(dims, seed=0)
+    feats = tiny_products.features.copy()
+    opt = Adam(m.parameters(), lr=1e-2)
+    ds = tiny_products
+    return [m.train_step(ds.norm_adjacency, feats, ds.labels, ds.train_mask, opt) for _ in range(3)]
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("fn", [bfs_partition, ldg_partition])
+    def test_assigns_every_node(self, ds, fn):
+        res = fn(ds.adjacency, 4, seed=0)
+        assert res.assignment.shape == (ds.n_nodes,)
+        assert set(np.unique(res.assignment)) <= set(range(4))
+
+    @pytest.mark.parametrize("fn", [bfs_partition, ldg_partition])
+    def test_balanced_sizes(self, ds, fn):
+        res = fn(ds.adjacency, 4, seed=0)
+        sizes = res.part_sizes
+        assert sizes.max() <= 1.3 * sizes.mean()
+
+    def test_gvb_balances_nonzeros(self, ds):
+        res = gvb_partition(ds.adjacency, 4)
+        deg = np.diff(ds.adjacency.indptr)
+        loads = np.array([deg[res.assignment == p].sum() for p in range(4)])
+        assert loads.max() <= 1.2 * loads.mean()
+
+    def test_gvb_beats_block_partition_on_nnz_balance(self, ds):
+        deg = np.diff(ds.adjacency.indptr)
+
+        def imbalance(res):
+            loads = np.array([deg[res.assignment == p].sum() for p in range(4)])
+            return loads.max() / loads.mean()
+
+        assert imbalance(gvb_partition(ds.adjacency, 4)) <= imbalance(block_partition(ds.n_nodes, 4))
+
+    def test_bfs_cut_beats_random_relabeling(self, ds):
+        bfs = bfs_partition(ds.adjacency, 4, seed=0)
+        rng = np.random.default_rng(0)
+        random_assign = bfs.assignment.copy()
+        rng.shuffle(random_assign)
+        from repro.baselines.partitioner import PartitionResult
+
+        rand = PartitionResult(assignment=random_assign, n_parts=4)
+        assert bfs.edge_cut(ds.adjacency) < rand.edge_cut(ds.adjacency)
+
+    def test_boundary_nodes_correct_brute_force(self, ds):
+        res = bfs_partition(ds.adjacency, 3, seed=1)
+        bnd = boundary_nodes(ds.adjacency, res)
+        coo = ds.adjacency.tocoo()
+        for p in range(3):
+            expected = {
+                int(c) for r, c in zip(coo.row, coo.col)
+                if res.assignment[r] == p and res.assignment[c] != p
+            }
+            assert set(bnd[p].tolist()) == expected
+
+    def test_parts_sorted_and_disjoint(self, ds):
+        res = ldg_partition(ds.adjacency, 4, seed=0)
+        parts = res.parts()
+        all_nodes = np.concatenate(parts)
+        assert len(all_nodes) == ds.n_nodes
+        assert len(np.unique(all_nodes)) == ds.n_nodes
+
+    def test_invalid_part_count(self, ds):
+        with pytest.raises(ValueError):
+            bfs_partition(ds.adjacency, 0)
+        with pytest.raises(ValueError):
+            gvb_partition(ds.adjacency, ds.n_nodes + 1)
+
+
+class TestBnsGcn:
+    @pytest.mark.parametrize("partitioner", ["bfs", "ldg", "gvb"])
+    def test_exact_at_rate_one(self, ds, dims, serial3, partitioner):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        m = BnsGcnModel(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims,
+                        BnsGcnOptions(seed=0, partitioner=partitioner))
+        losses = m.train(3).losses
+        np.testing.assert_allclose(losses, serial3, atol=1e-9)
+
+    def test_exact_with_eight_ranks(self, ds, dims, serial3):
+        cluster = VirtualCluster(8, PERLMUTTER)
+        m = BnsGcnModel(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, BnsGcnOptions(seed=0))
+        np.testing.assert_allclose(m.train(3).losses, serial3, atol=1e-9)
+
+    def test_sampling_is_approximate_but_trains(self, ds, dims, serial3):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        m = BnsGcnModel(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims,
+                        BnsGcnOptions(seed=0, boundary_rate=0.25))
+        losses = m.train(3).losses
+        assert all(np.isfinite(l) for l in losses)
+        assert losses != pytest.approx(serial3, abs=1e-12)
+
+    def test_total_nodes_with_boundary_at_least_n(self, ds, dims):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        m = BnsGcnModel(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, BnsGcnOptions(seed=0))
+        assert m.total_nodes_with_boundary() >= ds.n_nodes
+
+    def test_boundary_grows_with_partitions(self, ds, dims):
+        totals = []
+        for p in (2, 4, 8):
+            cluster = VirtualCluster(p, PERLMUTTER)
+            m = BnsGcnModel(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, BnsGcnOptions(seed=0))
+            totals.append(m.total_nodes_with_boundary())
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BnsGcnOptions(boundary_rate=0.0)
+        with pytest.raises(ValueError):
+            BnsGcnOptions(boundary_rate=1.5)
+
+    def test_epoch_breakdown_sane(self, ds, dims):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        m = BnsGcnModel(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, BnsGcnOptions(seed=0))
+        stats = m.train_epoch()
+        assert stats.epoch_time > 0
+        assert stats.comm_time >= 0 and stats.comp_time > 0
+
+
+class TestCagnet:
+    def test_sa_exact(self, ds, dims, serial3):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        m = Cagnet15D(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, CagnetOptions(seed=0))
+        np.testing.assert_allclose(m.train(3).losses, serial3, atol=1e-9)
+
+    def test_sa_gvb_exact(self, ds, dims, serial3):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        m = Cagnet15D(cluster, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims,
+                      CagnetOptions(seed=0, use_gvb=True))
+        np.testing.assert_allclose(m.train(3).losses, serial3, atol=1e-9)
+
+    def test_block_partition_is_contiguous(self):
+        res = block_partition(10, 3)
+        np.testing.assert_array_equal(res.assignment, [0, 0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+    def test_sampling_forbidden(self):
+        with pytest.raises(ValueError):
+            CagnetOptions(boundary_rate=0.5)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            CagnetOptions(replication=0)
+
+    def test_sa_exchanges_more_than_bns(self, ds, dims):
+        """Contiguous blocks cut more edges than BFS partitions on RMAT."""
+        c1 = VirtualCluster(4, PERLMUTTER)
+        bns = BnsGcnModel(c1, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, BnsGcnOptions(seed=0))
+        c2 = VirtualCluster(4, PERLMUTTER)
+        sa = Cagnet15D(c2, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, CagnetOptions(seed=0))
+        assert sa.total_nodes_with_boundary() >= bns.total_nodes_with_boundary()

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "reddit" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Plexus" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_train(self, capsys):
+        assert main(["train", "--dataset", "ogbn-products", "--gpus", "4", "--epochs", "2", "--hidden", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch   0" in out and "mean epoch time" in out
+
+    def test_select(self, capsys):
+        assert main(["select", "--dataset", "products-14m", "--gpus", "16", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+        assert out.count("X") >= 3
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,178 @@
+"""Tests for the 3D grid, axis-role rotation and config enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Axis,
+    GridConfig,
+    PlexusGrid,
+    axis_roles,
+    classify_config,
+    factor_triples,
+    map_collective,
+)
+from repro.dist import PERLMUTTER, VirtualCluster, all_reduce
+
+
+class TestGridConfig:
+    def test_total(self):
+        assert GridConfig(2, 4, 8).total == 64
+
+    def test_name_roundtrip(self):
+        cfg = GridConfig(2, 4, 8)
+        assert GridConfig.parse(cfg.name) == cfg
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            GridConfig.parse("2x4x8")
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            GridConfig(0, 1, 1)
+
+    def test_size_by_axis(self):
+        cfg = GridConfig(2, 4, 8)
+        assert cfg.size(Axis.X) == 2
+        assert cfg.size(Axis.Y) == 4
+        assert cfg.size(Axis.Z) == 8
+
+    def test_inner_sizes_y_fastest(self):
+        cfg = GridConfig(2, 4, 8)
+        assert cfg.inner_size(Axis.Y) == 1
+        assert cfg.inner_size(Axis.X) == 4
+        assert cfg.inner_size(Axis.Z) == 8
+
+    def test_parallel_dims(self):
+        assert GridConfig(8, 1, 1).n_parallel_dims == 1
+        assert GridConfig(2, 4, 1).n_parallel_dims == 2
+        assert GridConfig(2, 2, 2).n_parallel_dims == 3
+
+    def test_classify(self):
+        assert classify_config(GridConfig(1, 16, 1)) == "1D"
+        assert classify_config(GridConfig(4, 4, 1)) == "2D"
+        assert classify_config(GridConfig(4, 4, 4)) == "3D"
+
+
+class TestFactorTriples:
+    def test_count_for_64(self):
+        # Fig. 5 sweeps all ordered factorizations of 64 = 2^6: C(8,2) = 28
+        assert len(factor_triples(64)) == 28
+
+    def test_products_correct(self):
+        for cfg in factor_triples(24):
+            assert cfg.total == 24
+
+    def test_unique(self):
+        cfgs = factor_triples(36)
+        assert len(cfgs) == len(set(cfgs))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor_triples(0)
+
+    @given(g=st.integers(1, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_factorizations_present(self, g):
+        cfgs = factor_triples(g)
+        brute = sum(1 for a in range(1, g + 1) for b in range(1, g + 1) if g % (a * b) == 0 and a * b <= g and g % a == 0 and (g // a) % b == 0)
+        assert len(cfgs) == brute
+
+
+class TestAxisRoles:
+    def test_rotation_sequence(self):
+        assert axis_roles(0).as_tuple() == (Axis.X, Axis.Y, Axis.Z)
+        assert axis_roles(1).as_tuple() == (Axis.Z, Axis.X, Axis.Y)
+        assert axis_roles(2).as_tuple() == (Axis.Y, Axis.Z, Axis.X)
+
+    def test_period_three(self):
+        assert axis_roles(3) == axis_roles(0)
+        assert axis_roles(7) == axis_roles(1)
+
+    def test_adjacency_planes_match_fig4(self):
+        # layer 0: A on ZX-plane; layer 1: YZ-plane; layer 2: XY-plane
+        assert (axis_roles(0).z, axis_roles(0).x) == (Axis.Z, Axis.X)
+        assert (axis_roles(1).z, axis_roles(1).x) == (Axis.Y, Axis.Z)
+        assert (axis_roles(2).z, axis_roles(2).x) == (Axis.X, Axis.Y)
+
+    def test_chaining_invariant(self):
+        # output sharding (z, x) of layer i == input sharding (x, y) of i+1
+        for i in range(6):
+            assert axis_roles(i).z == axis_roles(i + 1).x
+            assert axis_roles(i).x == axis_roles(i + 1).y
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            axis_roles(-1)
+
+
+class TestPlexusGrid:
+    def _grid(self, gx=2, gy=2, gz=2):
+        cfg = GridConfig(gx, gy, gz)
+        return PlexusGrid(VirtualCluster(cfg.total, PERLMUTTER), cfg)
+
+    def test_world_size_mismatch(self):
+        with pytest.raises(ValueError):
+            PlexusGrid(VirtualCluster(8, PERLMUTTER), GridConfig(2, 2, 1))
+
+    def test_coords_bijective(self):
+        grid = self._grid(2, 3, 2)
+        seen = {grid.coords(r) for r in range(12)}
+        assert len(seen) == 12
+
+    def test_y_varies_fastest(self):
+        grid = self._grid(2, 4, 1)
+        assert grid.coords(0) == (0, 0, 0)
+        assert grid.coords(1) == (0, 1, 0)
+        assert grid.coords(4) == (1, 0, 0)
+
+    def test_group_membership(self):
+        grid = self._grid(2, 2, 2)
+        for rank in range(8):
+            for axis in Axis:
+                g = grid.group_of(rank, axis)
+                assert any(m.rank == rank for m in g.members)
+                assert g.size == 2
+
+    def test_group_count(self):
+        grid = self._grid(2, 4, 2)
+        assert len(grid.groups(Axis.X)) == 8   # gy*gz
+        assert len(grid.groups(Axis.Y)) == 4   # gx*gz
+        assert len(grid.groups(Axis.Z)) == 8   # gx*gy
+
+    def test_group_members_ordered_by_axis_coord(self):
+        grid = self._grid(2, 2, 4)
+        for g in grid.groups(Axis.Z):
+            coords = [grid.coords(m.rank)[Axis.Z] for m in g.members]
+            assert coords == sorted(coords)
+
+    def test_y_group_is_intra_node_on_perlmutter(self):
+        # Gy=4 packs exactly into a 4-GPU node -> NVLink bandwidth
+        grid = self._grid(2, 4, 1)
+        for g in grid.groups(Axis.Y):
+            assert g.bandwidth == PERLMUTTER.intra_node_bw
+
+    def test_z_group_spanning_nodes_gets_contended_bandwidth(self):
+        grid = self._grid(2, 4, 2)  # inner(Z) = 8 > 4
+        for g in grid.groups(Axis.Z):
+            assert g.bandwidth == PERLMUTTER.inter_node_bw / 4
+
+
+class TestMapCollective:
+    def test_groupwise_all_reduce(self):
+        cfg = GridConfig(2, 2, 1)
+        cluster = VirtualCluster(4, PERLMUTTER)
+        grid = PlexusGrid(cluster, cfg)
+        per_rank = [np.array([float(r)]) for r in range(4)]
+        out = map_collective(grid, Axis.Y, per_rank, all_reduce)
+        # Y-groups are {0,1} and {2,3}
+        assert out[0][0] == 1.0 and out[1][0] == 1.0
+        assert out[2][0] == 5.0 and out[3][0] == 5.0
+
+    def test_wrong_length_rejected(self):
+        cfg = GridConfig(2, 1, 1)
+        grid = PlexusGrid(VirtualCluster(2, PERLMUTTER), cfg)
+        with pytest.raises(ValueError):
+            map_collective(grid, Axis.X, [np.zeros(1)], all_reduce)

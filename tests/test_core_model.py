@@ -1,0 +1,190 @@
+"""The central correctness suite: the 3D-parallel model must reproduce the
+serial reference exactly for every grid configuration, permutation scheme
+and optimization flag — Sec. 3's 'no approximation' property, which Fig. 7
+demonstrates and these tests assert to float64 tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridConfig, PlexusGCN, PlexusOptions, PlexusTrainer, SpmmNoise
+from repro.dist import PERLMUTTER, VirtualCluster
+from repro.nn import Adam, SerialGCN
+
+ATOL = 1e-9
+
+
+def _serial_losses(ds, dims, epochs, lr=1e-2, trainable=False, seed=0):
+    model = SerialGCN(dims, seed=seed, trainable_features=trainable)
+    feats = ds.features.copy()
+    opt = Adam(model.parameters(feats), lr=lr)
+    return [model.train_step(ds.norm_adjacency, feats, ds.labels, ds.train_mask, opt) for _ in range(epochs)]
+
+
+def _plexus_losses(ds, dims, cfg, epochs, **opt_kwargs):
+    options = PlexusOptions(seed=0, lr=1e-2, **opt_kwargs)
+    cluster = VirtualCluster(cfg.total, PERLMUTTER)
+    model = PlexusGCN(cluster, cfg, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, options)
+    return PlexusTrainer(model).train(epochs).losses, model
+
+
+@pytest.fixture(scope="module")
+def ds(tiny_products):
+    return tiny_products
+
+
+@pytest.fixture(scope="module")
+def dims(tiny_products):
+    return [tiny_products.n_features, 12, 12, tiny_products.n_classes]
+
+
+@pytest.fixture(scope="module")
+def serial4(tiny_products, dims):
+    return _serial_losses(tiny_products, dims, epochs=4)
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "cfg",
+        ["X2Y2Z2", "X4Y2Z1", "X1Y4Z2", "X2Y1Z4", "X8Y1Z1", "X1Y8Z1", "X1Y1Z8", "X4Y1Z2", "X1Y2Z4"],
+    )
+    def test_all_grid_configs_match_serial(self, ds, dims, serial4, cfg):
+        losses, _ = _plexus_losses(ds, dims, GridConfig.parse(cfg), epochs=4, permutation="double")
+        np.testing.assert_allclose(losses, serial4, atol=ATOL)
+
+    @pytest.mark.parametrize("perm", ["none", "single", "double"])
+    def test_all_permutation_schemes_match_serial(self, ds, dims, serial4, perm):
+        losses, _ = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=4, permutation=perm)
+        np.testing.assert_allclose(losses, serial4, atol=ATOL)
+
+    def test_blocked_aggregation_exact(self, ds, dims, serial4):
+        losses, _ = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=4, aggregation_blocks=4)
+        np.testing.assert_allclose(losses, serial4, atol=ATOL)
+
+    def test_gemm_tuning_exact(self, ds, dims, serial4):
+        tuned, _ = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=4, tune_dw_gemm=True)
+        untuned, _ = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=4, tune_dw_gemm=False)
+        np.testing.assert_allclose(tuned, serial4, atol=ATOL)
+        np.testing.assert_allclose(untuned, serial4, atol=ATOL)
+
+    def test_noise_does_not_change_numerics(self, ds, dims, serial4):
+        losses, _ = _plexus_losses(
+            ds, dims, GridConfig(2, 2, 2), epochs=4, noise=SpmmNoise(threshold_nnz=1, sigma=0.5)
+        )
+        np.testing.assert_allclose(losses, serial4, atol=ATOL)
+
+    def test_trainable_features_match_serial(self, ds, dims):
+        serial = _serial_losses(ds, dims, epochs=4, trainable=True)
+        losses, _ = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=4, trainable_features=True)
+        np.testing.assert_allclose(losses, serial, atol=ATOL)
+
+    def test_trainable_features_with_double_perm_and_blocks(self, ds, dims):
+        serial = _serial_losses(ds, dims, epochs=3, trainable=True)
+        losses, _ = _plexus_losses(
+            ds, dims, GridConfig(2, 2, 2), epochs=3,
+            trainable_features=True, permutation="double", aggregation_blocks=3,
+        )
+        np.testing.assert_allclose(losses, serial, atol=ATOL)
+
+    def test_two_layer_network(self, ds):
+        dims2 = [ds.n_features, 10, ds.n_classes]
+        serial = _serial_losses(ds, dims2, epochs=3)
+        losses, _ = _plexus_losses(ds, dims2, GridConfig(2, 2, 2), epochs=3)
+        np.testing.assert_allclose(losses, serial, atol=ATOL)
+
+    def test_five_layer_network(self, ds):
+        dims5 = [ds.n_features, 8, 8, 8, 8, ds.n_classes]
+        serial = _serial_losses(ds, dims5, epochs=3)
+        losses, _ = _plexus_losses(ds, dims5, GridConfig(2, 2, 2), epochs=3)
+        np.testing.assert_allclose(losses, serial, atol=ATOL)
+
+    def test_indivisible_dimensions(self, ds):
+        """N, D, C all indivisible by the grid: quasi-equal sharding."""
+        dims_odd = [ds.n_features, 13, ds.n_classes]  # 24 feats, 13 hidden, 47 classes
+        serial = _serial_losses(ds, dims_odd, epochs=3)
+        losses, _ = _plexus_losses(ds, dims_odd, GridConfig(3, 2, 2), epochs=3)
+        np.testing.assert_allclose(losses, serial, atol=ATOL)
+
+    def test_single_rank_degenerate_grid(self, ds, dims, serial4):
+        losses, _ = _plexus_losses(ds, dims, GridConfig(1, 1, 1), epochs=4)
+        np.testing.assert_allclose(losses, serial4, atol=ATOL)
+
+
+class TestModelStructure:
+    def test_unique_shardsets_three_layers_double(self, ds, dims):
+        _, model = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=1, permutation="double")
+        # 3 layers x alternating parity -> all three (plane, parity) combos
+        assert model.n_unique_adjacency_shardsets == min(6, 3)
+
+    def test_unique_shardsets_six_layers_double(self, ds):
+        dims6 = [ds.n_features] + [8] * 6 + [ds.n_classes]
+        # 7 layers: min(6, 7) = 6 distinct shard sets (Sec. 5.1's bound)
+        cluster = VirtualCluster(8, PERLMUTTER)
+        model = PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims6, PlexusOptions(permutation="double"))
+        assert model.n_unique_adjacency_shardsets == 6
+
+    def test_unique_shardsets_single_perm(self, ds):
+        dims6 = [ds.n_features] + [8] * 6 + [ds.n_classes]
+        cluster = VirtualCluster(8, PERLMUTTER)
+        model = PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims6, PlexusOptions(permutation="single"))
+        # one permutation version: min(3, L) planes only
+        assert model.n_unique_adjacency_shardsets == 3
+
+    def test_double_perm_memory_at_most_2x_single(self, ds, dims):
+        _, m_double = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=1, permutation="double")
+        _, m_single = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=1, permutation="single")
+        for d, s in zip(m_double.memory_per_rank(), m_single.memory_per_rank()):
+            assert d <= 2.2 * s
+
+    def test_memory_shrinks_with_more_ranks(self, ds, dims):
+        _, m2 = _plexus_losses(ds, dims, GridConfig(2, 1, 1), epochs=1)
+        _, m8 = _plexus_losses(ds, dims, GridConfig(2, 2, 2), epochs=1)
+        assert max(m8.memory_per_rank()) < max(m2.memory_per_rank())
+
+    def test_invalid_layer_dims(self, ds):
+        cluster = VirtualCluster(8, PERLMUTTER)
+        with pytest.raises(ValueError):
+            PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, [ds.n_features])
+
+    def test_feature_dim_mismatch(self, ds):
+        cluster = VirtualCluster(8, PERLMUTTER)
+        with pytest.raises(ValueError):
+            PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, [ds.n_features + 1, 8, ds.n_classes])
+
+
+class TestTimingBehaviour:
+    def test_epoch_time_positive_and_finite(self, ds, dims):
+        cluster = VirtualCluster(8, PERLMUTTER)
+        model = PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, PlexusOptions())
+        stats = PlexusTrainer(model).train_epoch()
+        assert 0 < stats.epoch_time < 10
+        assert stats.comm_time >= 0
+        assert stats.comp_time > 0
+
+    def test_comm_plus_comp_close_to_epoch(self, ds, dims):
+        cluster = VirtualCluster(8, PERLMUTTER)
+        model = PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, PlexusOptions())
+        stats = PlexusTrainer(model).train_epoch()
+        assert stats.comm_time + stats.comp_time == pytest.approx(stats.epoch_time, rel=0.05)
+
+    def test_noise_inflates_epoch_time(self, ds, dims):
+        base, _ = _timed(ds, dims, None)
+        noisy, _ = _timed(ds, dims, SpmmNoise(threshold_nnz=1, sigma=1.0, seed=0))
+        assert noisy > base
+
+    def test_mean_epoch_time_skips_warmup(self, ds, dims):
+        cluster = VirtualCluster(8, PERLMUTTER)
+        model = PlexusGCN(cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims, PlexusOptions())
+        result = PlexusTrainer(model).train(5)
+        assert result.mean_epoch_time(skip=2) > 0
+        comm, comp = result.mean_breakdown(skip=2)
+        assert comm >= 0 and comp > 0
+
+
+def _timed(ds, dims, noise):
+    cluster = VirtualCluster(8, PERLMUTTER)
+    model = PlexusGCN(
+        cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, dims,
+        PlexusOptions(noise=noise),
+    )
+    stats = PlexusTrainer(model).train_epoch()
+    return stats.epoch_time, stats

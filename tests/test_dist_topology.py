@@ -1,0 +1,82 @@
+"""Tests for machine topology specs (Sec. 6.1 facts + helpers)."""
+
+import pytest
+
+from repro.dist import FRONTIER, LAPTOP, PERLMUTTER, MachineSpec, machine_by_name
+from repro.gpu import A100_40GB, CPU_DEVICE
+
+
+class TestSpecs:
+    def test_perlmutter_gpus_per_node(self):
+        assert PERLMUTTER.gpus_per_node == 4
+
+    def test_frontier_gcds_per_node(self):
+        # one MI250X = two GCDs; four MI250X per node
+        assert FRONTIER.gpus_per_node == 8
+
+    def test_nic_bandwidth_is_25gbs(self):
+        assert PERLMUTTER.nic_bw == pytest.approx(25e9)
+        assert FRONTIER.nic_bw == pytest.approx(25e9)
+
+    def test_four_nics_per_node(self):
+        assert PERLMUTTER.nics_per_node == 4
+        assert FRONTIER.nics_per_node == 4
+
+    def test_inter_node_is_nic_aggregate(self):
+        assert PERLMUTTER.inter_node_bw == pytest.approx(100e9)
+
+    def test_a100_device_on_perlmutter(self):
+        assert PERLMUTTER.device is A100_40GB
+
+    def test_frontier_spmm_order_of_magnitude_slower(self):
+        # Sec. 7.2: ROCm SpMM ~10x slower than CUDA
+        ratio = (PERLMUTTER.device.memory_bw * PERLMUTTER.device.spmm_efficiency) / (
+            FRONTIER.device.memory_bw * FRONTIER.device.spmm_efficiency
+        )
+        assert 5 <= ratio <= 20
+
+
+class TestNodeMapping:
+    def test_node_of_block_placement(self):
+        assert PERLMUTTER.node_of(0) == 0
+        assert PERLMUTTER.node_of(3) == 0
+        assert PERLMUTTER.node_of(4) == 1
+
+    def test_node_of_negative_raises(self):
+        with pytest.raises(ValueError):
+            PERLMUTTER.node_of(-1)
+
+    def test_group_intra_node_true(self):
+        assert PERLMUTTER.group_is_intra_node([0, 1, 2, 3])
+
+    def test_group_intra_node_false(self):
+        assert not PERLMUTTER.group_is_intra_node([3, 4])
+
+    def test_group_empty_raises(self):
+        with pytest.raises(ValueError):
+            PERLMUTTER.group_is_intra_node([])
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert machine_by_name("perlmutter") is PERLMUTTER
+        assert machine_by_name("FRONTIER") is FRONTIER
+        assert machine_by_name("laptop") is LAPTOP
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(KeyError):
+            machine_by_name("summit")
+
+
+class TestValidation:
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 0, 1e9, 1e9, 1, CPU_DEVICE)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 4, -1e9, 1e9, 1, CPU_DEVICE)
+
+    def test_zero_nics_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 4, 1e9, 1e9, 0, CPU_DEVICE)

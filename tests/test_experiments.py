@@ -1,0 +1,185 @@
+"""End-to-end tests of the experiment drivers: every table/figure driver
+must run and reproduce its headline shape properties."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, loader, table1, table2, table3, table4
+from repro.experiments.common import ExperimentResult, gcn_layer_dims
+
+
+class TestCommon:
+    def test_layer_dims_shape(self):
+        assert gcn_layer_dims(100, 47) == [100, 128, 128, 47]
+
+    def test_layer_dims_custom_depth(self):
+        assert gcn_layer_dims(10, 5, hidden=16, n_layers=2) == [10, 16, 5]
+
+    def test_layer_dims_invalid(self):
+        with pytest.raises(ValueError):
+            gcn_layer_dims(10, 5, n_layers=0)
+
+    def test_result_rendering(self):
+        res = ExperimentResult("t", ["a", "b"])
+        res.add(1, 2)
+        res.note("hello")
+        out = res.render()
+        assert "t" in out and "hello" in out
+
+
+class TestTable1:
+    def test_sixteen_rows(self):
+        res = table1.run()
+        assert len(res.rows) == 16
+
+    def test_plexus_has_largest_gpu_count(self):
+        rows = table1.run().rows
+        assert rows[-1][0].startswith("Plexus")
+        assert rows[-1][-1] == max(r[-1] for r in rows)
+
+
+class TestTable2:
+    def test_grid_sizes_close_to_paper(self):
+        prof = table2.profiles()
+        assert prof["U"].grid_size == pytest.approx(table2.PAPER_METRICS["U"][0], rel=0.05)
+        assert prof["V"].grid_size == pytest.approx(table2.PAPER_METRICS["V"][0], rel=0.05)
+
+    def test_driver_runs(self):
+        res = table2.run()
+        assert len(res.rows) == 5
+
+
+class TestTable3:
+    def test_ratio_ordering(self):
+        ratios = table3.permutation_ratios(n_nodes=4096)
+        assert ratios["Double permutation"] < ratios["Single permutation"] < ratios["Original"]
+
+    def test_double_near_one(self):
+        ratios = table3.permutation_ratios(n_nodes=4096)
+        assert ratios["Double permutation"] < 1.15
+
+    def test_original_severely_imbalanced(self):
+        ratios = table3.permutation_ratios(n_nodes=4096)
+        assert ratios["Original"] > 4.0
+
+    def test_driver_runs(self):
+        res = table3.run(n_nodes=4096)
+        assert len(res.rows) == 3
+
+
+class TestTable4:
+    def test_six_rows_with_paper_numbers(self):
+        res = table4.run(include_scaled=False)
+        assert len(res.rows) == 6
+        assert res.rows[-1][0] == "ogbn-papers100m"
+        assert res.rows[-1][1] == "111,059,956"
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def points_and_stats(self):
+        reg, stats = fig5.calibrated_regression()
+        return fig5.predicted_vs_observed(regression=reg), stats
+
+    def test_all_factorizations_present(self, points_and_stats):
+        points, _ = points_and_stats
+        assert len(points) == 28  # ordered factorizations of 64
+
+    def test_prediction_correlates_with_observation(self, points_and_stats):
+        points, _ = points_and_stats
+        pred = np.array([p.predicted_ms for p in points])
+        obs = np.array([p.observed_ms for p in points])
+        assert np.corrcoef(pred, obs)[0, 1] > 0.9
+
+    def test_top_predicted_config_is_near_optimal(self, points_and_stats):
+        points, _ = points_and_stats
+        best_pred = min(points, key=lambda p: p.predicted_ms)
+        best_obs = min(points, key=lambda p: p.observed_ms)
+        assert best_pred.observed_ms <= 1.3 * best_obs.observed_ms
+
+    def test_best_family_is_3d(self, points_and_stats):
+        points, _ = points_and_stats
+        best = min(points, key=lambda p: p.observed_ms)
+        assert best.family == "3D"
+
+    def test_regression_validation_positive_r2(self, points_and_stats):
+        _, stats = points_and_stats
+        assert stats["r2_train"] > 0.4
+        assert stats["r2_test"] > 0.2
+
+
+class TestFig6:
+    def test_blocking_reduces_both_components(self):
+        for g, (d, b, _cfg) in fig6.blocking_comparison().items():
+            assert b.comm < d.comm, f"comm at {g}"
+            assert b.comp < d.comp, f"comp at {g}"
+
+    def test_tuning_recovers_grad_w(self):
+        for g, (u, t, _cfg) in fig6.tuning_comparison().items():
+            assert u.detail["gemm_dw"] > 10 * t.detail["gemm_dw"]
+
+    def test_driver_runs(self):
+        assert len(fig6.run().rows) == 8
+
+
+class TestFig7:
+    def test_all_configs_match_serial(self):
+        serial, curves = fig7.validation_curves(epochs=5, n_nodes=700)
+        assert len(curves) == 7
+        for name, losses in curves.items():
+            dev = max(abs(a - b) for a, b in zip(losses, serial))
+            assert dev < 1e-6, name
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def products(self):
+        return fig8.comparison_series("products-14m", gpu_counts=[32, 64, 256, 1024])
+
+    def test_bns_crossover(self, products):
+        plexus = {p.gpus: p.ms for p in products["plexus"]}
+        bns = {p.gpus: p.ms for p in products["bns-gcn"]}
+        assert bns[32] < plexus[32]
+        assert bns[1024] > plexus[1024]
+
+    def test_plexus_scales_to_1024(self, products):
+        pts = products["plexus"]
+        assert pts[-1].ms < pts[0].ms
+
+    def test_driver_includes_known_failures(self):
+        res = fig8.run(datasets=["isolate-3-8m"])
+        flat = "\n".join(str(r) for r in res.rows)
+        assert "out of memory" in flat
+
+
+class TestFig9:
+    def test_bns_boundary_grows(self):
+        data = fig9.breakdown(gpu_counts=[32, 256])
+        assert data[256]["bns_total_nodes"] > data[32]["bns_total_nodes"]
+
+    def test_plexus_comp_keeps_shrinking(self):
+        data = fig9.breakdown(gpu_counts=[32, 256])
+        assert data[256]["plexus"].comp < data[32]["plexus"].comp
+
+    def test_driver_runs(self):
+        assert len(fig9.run().rows) == 8
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run()
+
+    def test_twelve_series(self, result):
+        assert len(result.rows) == 12  # 6 datasets x 2 machines
+
+    def test_papers100m_reaches_2048(self, result):
+        papers_rows = [r for r in result.rows if r[1] == "ogbn-papers100m"]
+        assert all("2048:" in r[2] for r in papers_rows)
+
+
+class TestLoader:
+    def test_sharded_reads_less(self, tmp_path):
+        cmp = loader.compare_loading(n_nodes=2048, out_dir=tmp_path)
+        assert cmp.memory_reduction > 2.0
+        assert cmp.sharded_seconds < cmp.naive_seconds

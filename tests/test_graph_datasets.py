@@ -1,0 +1,172 @@
+"""Tests for the dataset registry, features/labels, and shard IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DatasetStats,
+    ShardedDataLoader,
+    dataset_stats,
+    degree_labels,
+    list_datasets,
+    load_dataset,
+    random_split_masks,
+    save_sharded,
+    synth_features,
+)
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(list_datasets()) == 6
+
+    def test_table4_reddit_row(self):
+        st = dataset_stats("reddit")
+        assert (st.nodes, st.edges, st.nonzeros) == (232_965, 57_307_946, 114_848_857)
+        assert (st.features, st.classes) == (602, 41)
+
+    def test_table4_papers100m_row(self):
+        st = dataset_stats("ogbn-papers100m")
+        assert st.nodes == 111_059_956
+        assert st.edges == 1_615_685_872
+        assert st.nonzeros == 1_726_745_828
+        assert st.classes == 172
+
+    def test_table4_all_rows_have_selfloop_nonzeros(self):
+        # nonzeros counts the preprocessed matrix: >= edges (Table 4)
+        for name in list_datasets():
+            st = dataset_stats(name)
+            assert st.nonzeros >= st.edges
+
+    def test_density_range_matches_paper(self):
+        # Sec. 1: fraction of zeros ranges 99.79% - 99.99%+
+        for name in list_datasets():
+            assert dataset_stats(name).density < 0.0025
+
+    def test_avg_degree(self):
+        st = dataset_stats("ogbn-products")
+        assert st.avg_degree == pytest.approx(25.26, rel=0.01)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_stats("ogbn-arxiv")
+
+
+class TestLoading:
+    def test_tiny_load_validates(self):
+        ds = load_dataset("reddit", scale="tiny", seed=0)
+        ds.validate()
+        assert ds.n_nodes == 1024
+
+    def test_custom_node_count(self):
+        ds = load_dataset("europe_osm", n_nodes=2000, seed=0)
+        assert ds.n_nodes == 2000
+
+    def test_norm_adjacency_has_self_loops(self):
+        ds = load_dataset("ogbn-products", scale="tiny", seed=0)
+        assert (ds.norm_adjacency.diagonal() > 0).all()
+
+    def test_labels_in_class_range(self):
+        ds = load_dataset("isolate-3-8m", scale="tiny", seed=0)
+        assert ds.labels.min() >= 0
+        assert ds.labels.max() < ds.n_classes
+
+    def test_deterministic(self):
+        a = load_dataset("products-14m", scale="tiny", seed=4)
+        b = load_dataset("products-14m", scale="tiny", seed=4)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("reddit", scale="huge")
+
+    def test_paper_stats_attached(self):
+        ds = load_dataset("reddit", scale="tiny")
+        assert ds.paper_stats.nodes == 232_965
+
+
+class TestFeatures:
+    def test_feature_shape_and_scale(self):
+        f = synth_features(100, 16, seed=1)
+        assert f.shape == (100, 16)
+        assert abs(f.std() - 0.1) < 0.02
+
+    def test_feature_invalid_dim(self):
+        with pytest.raises(ValueError):
+            synth_features(10, 0)
+
+    def test_degree_labels_balanced(self, tiny_products):
+        labels = degree_labels(tiny_products.adjacency, 8, seed=0)
+        counts = np.bincount(labels, minlength=8)
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_degree_labels_follow_degree(self, tiny_products):
+        labels = degree_labels(tiny_products.adjacency, 4, seed=0)
+        deg = np.asarray(tiny_products.adjacency.sum(axis=1)).ravel()
+        assert deg[labels == 3].mean() > deg[labels == 0].mean()
+
+    def test_degree_labels_need_two_classes(self, tiny_products):
+        with pytest.raises(ValueError):
+            degree_labels(tiny_products.adjacency, 1)
+
+    def test_masks_disjoint_and_cover(self):
+        tr, va, te = random_split_masks(100, seed=0)
+        total = tr.astype(int) + va.astype(int) + te.astype(int)
+        np.testing.assert_array_equal(total, np.ones(100))
+
+    def test_masks_fractions(self):
+        tr, va, te = random_split_masks(1000, seed=0, train=0.6, val=0.2)
+        assert tr.sum() == 600
+        assert va.sum() == 200
+
+    def test_masks_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            random_split_masks(10, train=0.9, val=0.2)
+
+
+class TestShardIO:
+    @pytest.fixture()
+    def sharded_dir(self, tmp_path, tiny_products):
+        ds = tiny_products
+        save_sharded(ds.norm_adjacency, ds.features, ds.labels, tmp_path, grid=(4, 3))
+        return tmp_path
+
+    def test_full_roundtrip(self, sharded_dir, tiny_products):
+        loader = ShardedDataLoader(sharded_dir)
+        adj, feats, labels = loader.load_full()
+        np.testing.assert_allclose(adj.toarray(), tiny_products.norm_adjacency.toarray())
+        np.testing.assert_array_equal(feats, tiny_products.features)
+        np.testing.assert_array_equal(labels, tiny_products.labels)
+
+    @pytest.mark.parametrize("rows,cols", [(slice(0, 100), slice(50, 300)), (slice(17, 23), slice(0, 600)), (slice(599, 600), slice(599, 600))])
+    def test_partial_adjacency_equals_slice(self, sharded_dir, tiny_products, rows, cols):
+        loader = ShardedDataLoader(sharded_dir)
+        block = loader.load_adjacency(rows, cols)
+        expected = tiny_products.norm_adjacency[rows, cols]
+        np.testing.assert_allclose(block.toarray(), expected.toarray())
+
+    def test_partial_features_equals_slice(self, sharded_dir, tiny_products):
+        loader = ShardedDataLoader(sharded_dir)
+        np.testing.assert_array_equal(loader.load_features(slice(33, 147)), tiny_products.features[33:147])
+
+    def test_partial_labels_equals_slice(self, sharded_dir, tiny_products):
+        loader = ShardedDataLoader(sharded_dir)
+        np.testing.assert_array_equal(loader.load_labels(slice(5, 9)), tiny_products.labels[5:9])
+
+    def test_partial_reads_fewer_bytes(self, sharded_dir):
+        full = ShardedDataLoader(sharded_dir)
+        full.load_full()
+        partial = ShardedDataLoader(sharded_dir)
+        n = partial.n_nodes
+        partial.load_adjacency(slice(0, n // 4), slice(0, n // 3))
+        assert partial.report.bytes_read < 0.6 * full.report.bytes_read
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardedDataLoader(tmp_path / "nope")
+
+    def test_save_validates_shapes(self, tmp_path, tiny_products):
+        ds = tiny_products
+        with pytest.raises(ValueError):
+            save_sharded(ds.norm_adjacency, ds.features[:-1], ds.labels, tmp_path)

@@ -1,0 +1,110 @@
+"""Tests for the synthetic graph generators (structural properties)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import rmat_graph, road_network_graph, sbm_graph
+from repro.sparse import nnz_balance_stats
+
+
+class TestRmat:
+    def test_shape_and_symmetry(self):
+        a = rmat_graph(500, 8.0, seed=1)
+        assert a.shape == (500, 500)
+        assert (a != a.T).nnz == 0
+
+    def test_no_self_loops(self):
+        a = rmat_graph(500, 8.0, seed=1)
+        assert a.diagonal().sum() == 0
+
+    def test_binary_weights(self):
+        a = rmat_graph(300, 6.0, seed=2)
+        assert set(np.unique(a.data)) == {1.0}
+
+    def test_edge_budget_respected(self):
+        a = rmat_graph(2000, 10.0, seed=0)
+        # duplicates/self loops removed, so <= 2 * budget; same order
+        assert 0.3 * 2000 * 10 <= a.nnz <= 2000 * 10
+
+    def test_degree_skew(self):
+        a = rmat_graph(4096, 16.0, seed=0)
+        deg = np.asarray(a.sum(axis=1)).ravel()
+        # RMAT should be heavy-tailed: max degree far above the mean
+        assert deg.max() > 8 * deg.mean()
+
+    def test_natural_order_is_imbalanced(self):
+        # high-degree vertices cluster at low ids -> uneven 2D blocks
+        a = rmat_graph(4096, 16.0, seed=0)
+        stats = nnz_balance_stats(a, 8, 8)
+        assert stats.max_over_mean > 1.5
+
+    def test_deterministic(self):
+        a = rmat_graph(256, 4.0, seed=9)
+        b = rmat_graph(256, 4.0, seed=9)
+        assert (a != b).nnz == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            rmat_graph(1, 4.0)
+        with pytest.raises(ValueError):
+            rmat_graph(100, 0.0)
+        with pytest.raises(ValueError):
+            rmat_graph(100, 4.0, a=0.5, b=0.3, c=0.3)
+
+
+class TestSbm:
+    def test_shape_and_symmetry(self):
+        a = sbm_graph(600, 12, 20.0, seed=1)
+        assert a.shape == (600, 600)
+        assert (a != a.T).nnz == 0
+
+    def test_clustering_dominates(self):
+        # most edges should fall within blocks (out_fraction = 5%)
+        n, n_blocks = 1200, 12
+        a = sbm_graph(n, n_blocks, 30.0, seed=0)
+        rng = np.random.default_rng(0)
+        block = rng.integers(0, n_blocks, size=n)  # same draw as generator
+        coo = a.tocoo()
+        within = (block[coo.row] == block[coo.col]).mean()
+        assert within > 0.7
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            sbm_graph(10, 0, 4.0)
+        with pytest.raises(ValueError):
+            sbm_graph(10, 11, 4.0)
+
+    def test_invalid_out_fraction(self):
+        with pytest.raises(ValueError):
+            sbm_graph(100, 4, 4.0, out_fraction=1.0)
+
+
+class TestRoadNetwork:
+    def test_shape_and_symmetry(self):
+        a = road_network_graph(1100, seed=2)
+        assert a.shape == (1100, 1100)
+        assert (a != a.T).nnz == 0
+
+    def test_low_max_degree(self):
+        a = road_network_graph(2500, seed=0)
+        deg = np.asarray(a.sum(axis=1)).ravel()
+        # lattice + few shortcuts: near-planar degrees
+        assert deg.max() <= 12
+        assert 1.0 < deg.mean() < 5.0
+
+    def test_banded_structure_imbalance(self):
+        # spatial (row-major) ordering concentrates nnz near the diagonal:
+        # the Table 3 "Original" situation
+        a = road_network_graph(4096, seed=0)
+        stats = nnz_balance_stats(a, 8, 8)
+        assert stats.max_over_mean > 4.0
+
+    def test_all_nodes_present_for_non_square(self):
+        # n not a perfect square: leftover nodes get attached
+        a = road_network_graph(1030, seed=1)
+        deg = np.asarray(a.sum(axis=1)).ravel()
+        assert (deg > 0).mean() > 0.85
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            road_network_graph(3)

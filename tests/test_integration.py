@@ -1,0 +1,87 @@
+"""End-to-end integration tests through the top-level public API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FRONTIER,
+    GridConfig,
+    PlexusOptions,
+    train_plexus,
+)
+from repro.core import SpmmNoise
+
+
+class TestTrainPlexus:
+    def test_default_run(self):
+        result = train_plexus("ogbn-products", gpus=8, epochs=4)
+        assert len(result.losses) == 4
+        assert result.losses[-1] < result.losses[0]
+        assert result.mean_epoch_time() > 0
+
+    def test_explicit_config(self):
+        result = train_plexus("reddit", gpus=8, epochs=3, config=GridConfig(2, 2, 2))
+        assert len(result.losses) == 3
+
+    def test_on_frontier(self):
+        result = train_plexus("europe_osm", gpus=4, epochs=3, machine=FRONTIER)
+        assert all(np.isfinite(l) for l in result.losses)
+
+    def test_with_all_optimizations(self):
+        opts = PlexusOptions(
+            permutation="double",
+            aggregation_blocks=4,
+            tune_dw_gemm=True,
+            trainable_features=True,
+            noise=SpmmNoise(threshold_nnz=1e5, sigma=0.1),
+        )
+        result = train_plexus("isolate-3-8m", gpus=8, epochs=4, options=opts)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_deterministic_across_runs(self):
+        a = train_plexus("ogbn-products", gpus=4, epochs=3, seed=5)
+        b = train_plexus("ogbn-products", gpus=4, epochs=3, seed=5)
+        np.testing.assert_allclose(a.losses, b.losses, atol=1e-12)
+
+    def test_config_independence_of_losses(self):
+        """The headline exactness property through the public API: the same
+        training run on different 3D grids yields identical losses."""
+        a = train_plexus("products-14m", gpus=8, epochs=3, config=GridConfig(8, 1, 1))
+        b = train_plexus("products-14m", gpus=8, epochs=3, config=GridConfig(1, 2, 4))
+        np.testing.assert_allclose(a.losses, b.losses, atol=1e-9)
+
+    def test_mismatched_config_gpus(self):
+        with pytest.raises(ValueError):
+            train_plexus("reddit", gpus=8, epochs=1, config=GridConfig(2, 2, 1))
+
+
+class TestNoise:
+    def test_below_threshold_deterministic(self):
+        n = SpmmNoise(threshold_nnz=100, sigma=0.5, seed=0)
+        assert n.multiplier(100) == 1.0
+        assert n.multiplier(50) == 1.0
+
+    def test_above_threshold_slows_down(self):
+        n = SpmmNoise(threshold_nnz=100, sigma=0.5, seed=0)
+        assert n.multiplier(1000) > 1.0
+
+    def test_seeded_sequence_reproducible(self):
+        a = [SpmmNoise(threshold_nnz=1, sigma=0.3, seed=4).multiplier(100) for _ in range(1)]
+        b = [SpmmNoise(threshold_nnz=1, sigma=0.3, seed=4).multiplier(100) for _ in range(1)]
+        assert a == b
+
+    def test_scale_grows_with_size(self):
+        draws_small = []
+        draws_big = []
+        n1 = SpmmNoise(threshold_nnz=100, sigma=0.3, seed=1)
+        n2 = SpmmNoise(threshold_nnz=100, sigma=0.3, seed=1)
+        for _ in range(200):
+            draws_small.append(n1.multiplier(200))
+            draws_big.append(n2.multiplier(20000))
+        assert np.mean(draws_big) > np.mean(draws_small)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SpmmNoise(threshold_nnz=0)
+        with pytest.raises(ValueError):
+            SpmmNoise(sigma=-1)

@@ -1,0 +1,138 @@
+"""Tests for the Fig. 1 training paradigms and the GIN-aggregation
+extension — the paper's motivation (Sec. 1-2.2) made executable."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridConfig, PlexusGCN, PlexusOptions, PlexusTrainer
+from repro.dist import PERLMUTTER, VirtualCluster
+from repro.nn import Adam, SerialGCN, masked_cross_entropy
+from repro.nn.paradigms import (
+    full_graph_sampled_loss,
+    khop_neighborhood,
+    minibatch_loss,
+    sample_edges,
+    sample_fanout_subgraph,
+    sampled_minibatch_loss,
+)
+from repro.sparse.ops import gin_normalize
+
+
+class TestNeighborhoodExplosion:
+    """Sec. 1: 'even for small K this can quickly access large portions of
+    the graph' — measurable on the Reddit-like synthetic."""
+
+    def test_explosion_on_dense_graph(self):
+        from repro.graph import load_dataset
+
+        ds = load_dataset("reddit", scale="tiny", seed=0)
+        seeds = np.arange(8)
+        sizes = [len(khop_neighborhood(ds.norm_adjacency, seeds, k)) for k in (0, 1, 2, 3)]
+        assert sizes[0] == 8
+        assert sizes[1] > 5 * sizes[0]
+        # by 3 hops a tiny batch touches most of the graph
+        assert sizes[3] > 0.5 * ds.n_nodes
+
+    def test_monotone_in_k(self, tiny_products):
+        seeds = np.array([0, 5])
+        prev = 0
+        for k in range(4):
+            size = len(khop_neighborhood(tiny_products.norm_adjacency, seeds, k))
+            assert size >= prev
+            prev = size
+
+    def test_negative_k_rejected(self, tiny_products):
+        with pytest.raises(ValueError):
+            khop_neighborhood(tiny_products.norm_adjacency, np.array([0]), -1)
+
+
+class TestMiniBatchExact:
+    def test_minibatch_loss_equals_fullgraph_restriction(self, tiny_products):
+        """Fig. 1 top-right with no sampling is exact: batch loss equals the
+        full-graph loss restricted to the batch."""
+        ds = tiny_products
+        model = SerialGCN([ds.n_features, 8, ds.n_classes], seed=0)
+        batch = np.array([3, 17, 99, 250])
+        mb = minibatch_loss(model, ds.norm_adjacency, ds.features, ds.labels, batch)
+        full_logits = model.forward(ds.norm_adjacency, ds.features)
+        mask = np.zeros(ds.n_nodes, dtype=bool)
+        mask[batch] = True
+        expected = masked_cross_entropy(full_logits, ds.labels, mask)
+        assert mb == pytest.approx(expected, abs=1e-10)
+
+
+class TestSampling:
+    def test_fanout_bounds_subgraph_size(self, tiny_products):
+        ds = tiny_products
+        batch = np.arange(4)
+        nodes_small, _ = sample_fanout_subgraph(ds.norm_adjacency, batch, k=2, fanout=2, seed=0)
+        nodes_exact = khop_neighborhood(ds.norm_adjacency, batch, 2)
+        assert len(nodes_small) <= len(nodes_exact)
+        # fanout f for k hops bounds the set by batch * (1 + f + f^2)
+        assert len(nodes_small) <= 4 * (1 + 2 + 4)
+
+    def test_fanout_invalid(self, tiny_products):
+        with pytest.raises(ValueError):
+            sample_fanout_subgraph(tiny_products.norm_adjacency, np.array([0]), 2, 0)
+
+    def test_sampled_loss_is_biased_but_finite(self, tiny_products):
+        ds = tiny_products
+        model = SerialGCN([ds.n_features, 8, ds.n_classes], seed=0)
+        batch = np.array([3, 17, 99])
+        exact = minibatch_loss(model, ds.norm_adjacency, ds.features, ds.labels, batch)
+        approx = sampled_minibatch_loss(model, ds.norm_adjacency, ds.features, ds.labels, batch, fanout=3, seed=0)
+        assert np.isfinite(approx)
+        assert approx != pytest.approx(exact, abs=1e-9)
+
+    def test_edge_sampling_keep_all_is_identity(self, tiny_products):
+        a = tiny_products.norm_adjacency
+        assert (sample_edges(a, 1.0) != a).nnz == 0
+
+    def test_edge_sampling_drops_and_rescales(self, tiny_products):
+        a = tiny_products.norm_adjacency
+        s = sample_edges(a, 0.5, seed=1)
+        assert s.nnz < a.nnz
+        # unbiased in expectation: total weight roughly preserved
+        assert s.sum() == pytest.approx(a.sum(), rel=0.1)
+
+    def test_edge_sampling_stays_symmetric(self, tiny_products):
+        s = sample_edges(tiny_products.norm_adjacency, 0.4, seed=2)
+        assert (abs(s - s.T) > 1e-12).nnz == 0
+
+    def test_edge_sampling_invalid_prob(self, tiny_products):
+        with pytest.raises(ValueError):
+            sample_edges(tiny_products.norm_adjacency, 0.0)
+
+    def test_full_graph_sampled_loss_runs(self, tiny_products):
+        ds = tiny_products
+        model = SerialGCN([ds.n_features, 8, ds.n_classes], seed=0)
+        loss = full_graph_sampled_loss(model, ds.norm_adjacency, ds.features, ds.labels, ds.train_mask, 0.5)
+        assert np.isfinite(loss)
+
+
+class TestGinAggregation:
+    def test_gin_normalize_diagonal(self, tiny_products):
+        g = gin_normalize(tiny_products.adjacency, eps=0.5)
+        np.testing.assert_allclose(g.diagonal(), np.full(tiny_products.n_nodes, 1.5))
+
+    def test_gin_eps_validation(self, tiny_products):
+        with pytest.raises(ValueError):
+            gin_normalize(tiny_products.adjacency, eps=-1.0)
+
+    def test_plexus_trains_gin_aggregation_exactly(self, tiny_products):
+        """The 'easily adapted' claim (Sec. 2.1): swap the operator, keep
+        the 3D machinery, still exact against serial."""
+        ds = tiny_products
+        a_gin = gin_normalize(ds.adjacency, eps=0.1)
+        # scale down to keep activations in a stable range (GIN is unnormalized)
+        a_gin = a_gin * (1.0 / max(a_gin.sum(axis=1).max(), 1.0))
+        dims = [ds.n_features, 10, ds.n_classes]
+        serial = SerialGCN(dims, seed=0)
+        feats = ds.features.copy()
+        opt = Adam(serial.parameters(), lr=1e-2)
+        serial_losses = [serial.train_step(a_gin.tocsr(), feats, ds.labels, ds.train_mask, opt) for _ in range(3)]
+        cluster = VirtualCluster(8, PERLMUTTER)
+        model = PlexusGCN(cluster, GridConfig(2, 2, 2), a_gin.tocsr(), ds.features, ds.labels,
+                          ds.train_mask, dims, PlexusOptions(seed=0, permutation="double"))
+        losses = PlexusTrainer(model).train(3).losses
+        np.testing.assert_allclose(losses, serial_losses, atol=1e-9)

@@ -1,0 +1,161 @@
+"""Tests for the sparse substrate: normalization and 2D partitioning."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    add_self_loops,
+    block_slices,
+    block_nnz_counts,
+    gcn_normalize,
+    nnz_balance_stats,
+    partition_2d,
+    random_sparse,
+    spmm,
+    sym_normalize,
+    to_csr,
+)
+
+
+def _path_graph(n=5):
+    a = sp.lil_matrix((n, n))
+    for i in range(n - 1):
+        a[i, i + 1] = 1
+        a[i + 1, i] = 1
+    return a.tocsr()
+
+
+class TestNormalization:
+    def test_self_loops_set_diagonal(self):
+        a = add_self_loops(_path_graph())
+        np.testing.assert_array_equal(a.diagonal(), np.ones(5))
+
+    def test_self_loops_idempotent(self):
+        a = add_self_loops(add_self_loops(_path_graph()))
+        np.testing.assert_array_equal(a.diagonal(), np.ones(5))
+
+    def test_self_loops_requires_square(self):
+        with pytest.raises(ValueError):
+            add_self_loops(to_csr(np.ones((2, 3))))
+
+    def test_sym_normalize_known_values(self):
+        # two-node graph with self loops: degrees 2, entries 1/2 everywhere
+        a = to_csr(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        out = sym_normalize(a)
+        np.testing.assert_allclose(out.toarray(), np.full((2, 2), 0.5))
+
+    def test_sym_normalize_isolated_node_is_zero_row(self):
+        a = to_csr(np.diag([0.0, 1.0]))
+        out = sym_normalize(a)
+        assert out[0, 0] == 0.0
+        assert out[1, 1] == pytest.approx(1.0)
+
+    def test_gcn_normalize_spectral_radius_at_most_one(self, rng):
+        a = random_sparse(50, 50, 0.1, rng)
+        a = to_csr(abs(a) + abs(a).T)
+        norm = gcn_normalize(a)
+        eig = np.linalg.eigvalsh(norm.toarray())
+        assert eig.max() <= 1.0 + 1e-9
+
+    def test_gcn_normalize_symmetric_input_stays_symmetric(self, rng):
+        a = random_sparse(30, 30, 0.2, rng)
+        a = to_csr(abs(a) + abs(a).T)
+        norm = gcn_normalize(a).toarray()
+        np.testing.assert_allclose(norm, norm.T, atol=1e-12)
+
+    def test_spmm_matches_dense(self, rng):
+        a = random_sparse(20, 30, 0.3, rng)
+        f = rng.standard_normal((30, 7))
+        np.testing.assert_allclose(spmm(a, f), a.toarray() @ f, atol=1e-12)
+
+    def test_spmm_shape_mismatch(self, rng):
+        a = random_sparse(5, 6, 0.5, rng)
+        with pytest.raises(ValueError):
+            spmm(a, np.ones((7, 2)))
+
+    def test_random_sparse_density_bounds(self, rng):
+        with pytest.raises(ValueError):
+            random_sparse(5, 5, 1.5, rng)
+
+
+class TestBlockSlices:
+    def test_covers_range_exactly(self):
+        slices = block_slices(10, 3)
+        assert slices[0] == slice(0, 4)
+        assert slices[-1].stop == 10
+        total = sum(s.stop - s.start for s in slices)
+        assert total == 10
+
+    def test_quasi_equal(self):
+        sizes = [s.stop - s.start for s in block_slices(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        slices = block_slices(2, 5)
+        sizes = [s.stop - s.start for s in slices]
+        assert sum(sizes) == 2
+        assert len(slices) == 5
+
+    def test_zero_items(self):
+        assert all(s.stop == s.start for s in block_slices(0, 3))
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            block_slices(5, 0)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            block_slices(-1, 2)
+
+    @given(n=st.integers(0, 500), parts=st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_partition_of_range(self, n, parts):
+        slices = block_slices(n, parts)
+        covered = np.concatenate([np.arange(s.start, s.stop) for s in slices]) if n else np.array([])
+        np.testing.assert_array_equal(covered, np.arange(n))
+
+
+class TestPartition2D:
+    def test_reassembles(self, rng):
+        a = random_sparse(23, 17, 0.3, rng)
+        blocks = partition_2d(a, 3, 2)
+        rebuilt = sp.vstack([sp.hstack(row) for row in blocks])
+        np.testing.assert_allclose(rebuilt.toarray(), a.toarray())
+
+    @given(
+        n_rows=st.integers(1, 60),
+        n_cols=st.integers(1, 60),
+        p=st.integers(1, 5),
+        q=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_block_counts_match_slicing(self, n_rows, n_cols, p, q, seed):
+        a = random_sparse(n_rows, n_cols, 0.2, np.random.default_rng(seed))
+        counts = block_nnz_counts(a, p, q)
+        blocks = partition_2d(a, p, q)
+        expected = np.array([[b.nnz for b in row] for row in blocks])
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_balance_stats_uniform(self):
+        a = to_csr(np.ones((8, 8)))
+        stats = nnz_balance_stats(a, 4, 4)
+        assert stats.max_over_mean == pytest.approx(1.0)
+
+    def test_balance_stats_diagonal_concentration(self):
+        a = to_csr(np.eye(16))
+        stats = nnz_balance_stats(a, 4, 4)
+        # all nnz in diagonal blocks: max = 4, mean = 1
+        assert stats.max_over_mean == pytest.approx(4.0)
+
+    def test_balance_stats_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            nnz_balance_stats(to_csr(np.zeros((4, 4))), 2, 2)
+
+    def test_invalid_parts_rejected(self, rng):
+        a = random_sparse(4, 4, 0.5, rng)
+        with pytest.raises(ValueError):
+            block_nnz_counts(a, 0, 2)

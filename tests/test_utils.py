@@ -1,0 +1,72 @@
+"""Tests for repro.utils: RNG determinism and formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ascii_table, format_bytes, format_time, rng_from_seed, spawn_rngs
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = rng_from_seed(42).random(10)
+        b = rng_from_seed(42).random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(rng_from_seed(1).random(10), rng_from_seed(2).random(10))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert rng_from_seed(g) is g
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_streams_independent(self):
+        streams = spawn_rngs(0, 3)
+        draws = [g.random(100) for g in streams]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(9, 2)[1].random(5)
+        b = spawn_rngs(9, 2)[1].random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestFormat:
+    def test_bytes_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_bytes_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_bytes_gib(self):
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+    def test_time_us(self):
+        assert format_time(5e-6) == "5.0 us"
+
+    def test_time_ms(self):
+        assert format_time(0.0123) == "12.3 ms"
+
+    def test_time_s(self):
+        assert format_time(2.5) == "2.50 s"
+
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+
+    def test_ascii_table_empty_rows(self):
+        out = ascii_table(["x"], [])
+        assert "x" in out
