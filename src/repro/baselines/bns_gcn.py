@@ -306,8 +306,8 @@ class PartitionParallelGCN:
     def train_epoch(self) -> EpochStats:
         cluster = self.cluster
         t0 = cluster.max_clock()
-        comm0 = [r.timeline.total("comm:") for r in cluster]
-        comp0 = [r.timeline.total("comp:") for r in cluster]
+        comm0 = cluster.category_totals("comm:")
+        comp0 = cluster.category_totals("comp:")
         logits, cache = self.forward()
         loss, d_logits = self.loss_and_grad(logits)
         grads = self.backward(d_logits, cache)
@@ -315,8 +315,8 @@ class PartitionParallelGCN:
             opt.step(grads[p])
         cluster.barrier(phase="comm:epoch_sync")
         t1 = cluster.max_clock()
-        comm = float(np.mean([r.timeline.total("comm:") - c for r, c in zip(cluster, comm0)]))
-        comp = float(np.mean([r.timeline.total("comp:") - c for r, c in zip(cluster, comp0)]))
+        comm = float(np.mean(cluster.category_totals("comm:") - comm0))
+        comp = float(np.mean(cluster.category_totals("comp:") - comp0))
         return EpochStats(loss=loss, epoch_time=t1 - t0, comm_time=comm, comp_time=comp)
 
     def train(self, epochs: int) -> TrainResult:

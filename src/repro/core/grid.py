@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
+from functools import lru_cache
 
 import numpy as np
 
@@ -118,6 +119,40 @@ def axis_roles(layer_idx: int) -> AxisRoles:
     return _ROTATIONS[layer_idx % 3]
 
 
+@lru_cache(maxsize=512)
+def _grid_coords(gx: int, gy: int, gz: int) -> tuple[tuple[int, int, int], ...]:
+    """(x, y, z) per rank under the Y-fastest mapping, computed vectorized.
+
+    Pure in the grid shape, so every grid of the same configuration — sweeps
+    build hundreds — shares one computation.
+    """
+    ranks = np.arange(gx * gy * gz)
+    y = ranks % gy
+    x = (ranks // gy) % gx
+    z = ranks // (gx * gy)
+    return tuple(zip(x.tolist(), y.tolist(), z.tolist()))
+
+
+@lru_cache(maxsize=512)
+def _axis_group_ranks(gx: int, gy: int, gz: int, axis: Axis) -> tuple[tuple[tuple[int, int], tuple[int, ...]], ...]:
+    """((key, member ranks), ...) for each process group along ``axis``.
+
+    Groups are ordered by their off-axis coordinate key; members are ordered
+    by their coordinate along ``axis`` so group order equals shard order
+    (all-gather concatenation correctness).
+    """
+    coords = _grid_coords(gx, gy, gz)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for rank, c in enumerate(coords):
+        key_coords = tuple(v for a, v in zip(Axis, c) if a != axis)
+        buckets.setdefault(key_coords, []).append(rank)
+    out = []
+    for key, ranks in sorted(buckets.items()):
+        ranks.sort(key=lambda r: coords[r][axis])
+        out.append((key, tuple(ranks)))
+    return tuple(out)
+
+
 class PlexusGrid:
     """Process groups of a 3D grid over a virtual cluster."""
 
@@ -128,20 +163,13 @@ class PlexusGrid:
             )
         self.cluster = cluster
         self.config = config
-        self._coords = [self._rank_to_coords(r) for r in range(config.total)]
+        self._coords = _grid_coords(config.gx, config.gy, config.gz)
         self._groups: dict[Axis, list[ProcessGroup]] = {}
         self._group_of: dict[Axis, list[ProcessGroup]] = {}
         for axis in Axis:
             self._build_axis_groups(axis)
 
     # -- rank mapping --------------------------------------------------------
-    def _rank_to_coords(self, rank: int) -> tuple[int, int, int]:
-        gx, gy, _gz = self.config.gx, self.config.gy, self.config.gz
-        y = rank % gy
-        x = (rank // gy) % gx
-        z = rank // (gx * gy)
-        return (x, y, z)
-
     def coords(self, rank: int) -> tuple[int, int, int]:
         """(x, y, z) coordinates of a global rank id."""
         return self._coords[rank]
@@ -151,19 +179,13 @@ class PlexusGrid:
 
     # -- groups ---------------------------------------------------------------
     def _build_axis_groups(self, axis: Axis) -> None:
-        size = self.config.size(axis)
-        bw = axis_bandwidth(self.cluster.machine, size, self.config.inner_size(axis))
-        buckets: dict[tuple[int, int], list[int]] = {}
-        for rank in range(self.config.total):
-            c = list(self._coords[rank])
-            key_coords = tuple(c[a] for a in Axis if a != axis)
-            buckets.setdefault(key_coords, []).append(rank)
+        cfg = self.config
+        # both lookups are memoized across grids of the same configuration
+        bw = axis_bandwidth(self.cluster.machine, cfg.size(axis), cfg.inner_size(axis))
+        grouping = _axis_group_ranks(cfg.gx, cfg.gy, cfg.gz, axis)
         groups = []
-        group_of: list[ProcessGroup | None] = [None] * self.config.total
-        for key, ranks in sorted(buckets.items()):
-            # order members by their coordinate along `axis` so group order
-            # equals shard order (all-gather concatenation correctness)
-            ranks.sort(key=lambda r: self._coords[r][axis])
+        group_of: list[ProcessGroup | None] = [None] * cfg.total
+        for key, ranks in grouping:
             g = ProcessGroup(
                 members=[self.cluster[r] for r in ranks],
                 machine=self.cluster.machine,

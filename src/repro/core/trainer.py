@@ -174,16 +174,18 @@ class PlexusTrainer:
         model = self.model
         cluster = model.cluster
         t0 = cluster.max_clock()
-        comm0 = [r.timeline.total("comm:") for r in cluster]
-        comp0 = [r.timeline.total("comp:") for r in cluster]
+        # category prefixes hit the timeline's pre-bucketed aggregates: one
+        # O(1) lookup per rank, not a scan over the epoch's events
+        comm0 = cluster.category_totals("comm:")
+        comp0 = cluster.category_totals("comp:")
         logits, caches = model.forward()
         loss, d_logits = distributed_masked_ce(model, logits)
         grads = model.backward(d_logits, caches)
         model.apply_gradients(grads)
         cluster.barrier(phase="comm:epoch_sync")
         t1 = cluster.max_clock()
-        comm = float(np.mean([r.timeline.total("comm:") - c for r, c in zip(cluster, comm0)]))
-        comp = float(np.mean([r.timeline.total("comp:") - c for r, c in zip(cluster, comp0)]))
+        comm = float(np.mean(cluster.category_totals("comm:") - comm0))
+        comp = float(np.mean(cluster.category_totals("comp:") - comp0))
         return EpochStats(loss=loss, epoch_time=t1 - t0, comm_time=comm, comp_time=comp)
 
     def train(self, epochs: int) -> TrainResult:

@@ -1,0 +1,54 @@
+"""Simulated distributed runtime: topology, virtual cluster, collectives.
+
+This package is the substrate everything else stands on: machine
+topologies (``topology``), per-rank clocks with O(1) phase-attributed time
+accounting (``cluster``), process groups with the Eq. 4.6 effective
+bandwidth model (``group``), and executable ring collectives that move real
+numpy shards while charging the Eq. 4.5 cost models (``collectives``).
+"""
+
+from repro.dist.topology import (
+    FRONTIER,
+    LAPTOP,
+    PERLMUTTER,
+    MachineSpec,
+    machine_by_name,
+)
+from repro.dist.cluster import Timeline, TimelineBreakdown, VirtualCluster, VirtualRank
+from repro.dist.group import ProcessGroup, axis_bandwidth
+from repro.dist.collectives import (
+    all_gather,
+    all_reduce,
+    all_to_all,
+    all_to_all_time,
+    broadcast,
+    broadcast_time,
+    reduce_scatter,
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    ring_reduce_scatter_time,
+)
+
+__all__ = [
+    "MachineSpec",
+    "PERLMUTTER",
+    "FRONTIER",
+    "LAPTOP",
+    "machine_by_name",
+    "Timeline",
+    "TimelineBreakdown",
+    "VirtualCluster",
+    "VirtualRank",
+    "ProcessGroup",
+    "axis_bandwidth",
+    "all_reduce",
+    "all_gather",
+    "reduce_scatter",
+    "broadcast",
+    "all_to_all",
+    "ring_all_reduce_time",
+    "ring_all_gather_time",
+    "ring_reduce_scatter_time",
+    "broadcast_time",
+    "all_to_all_time",
+]

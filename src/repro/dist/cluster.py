@@ -1,0 +1,187 @@
+"""The virtual cluster: per-rank clocks and O(1) timeline accounting.
+
+Every rank of the simulation owns a scalar clock (simulated seconds) and a
+:class:`Timeline` that attributes every clock advance to a phase label of
+the form ``"category:detail"`` (``"comp:spmm_fwd"``, ``"comm:all_reduce_h"``,
+...).  The trainer queries ``timeline.total("comm:")`` and
+``timeline.total("comp:")`` for *every rank on every epoch*, so the timeline
+keeps running aggregates bucketed by phase and by category instead of an
+event list: the hot prefix queries are single dict lookups, O(1) in the
+number of recorded events, and memory stays constant no matter how many
+epochs the simulation runs.
+
+Straggler semantics: :meth:`VirtualCluster.barrier` (and every collective in
+``repro.dist.collectives``) first lifts each participant to the group's
+maximum clock, attributing the wait to a communication phase — which is how
+load imbalance "ripples" into communication time exactly as the paper's
+timing protocol observes (Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.topology import LAPTOP, MachineSpec
+
+__all__ = ["TimelineBreakdown", "Timeline", "VirtualRank", "VirtualCluster"]
+
+
+#: phase label -> "category:" prefix, shared across all timelines.  Phase
+#: labels form a small fixed vocabulary, so caching the split turns the
+#: hottest line of Timeline.add into a dict hit.
+_CATEGORY_OF: dict[str, str] = {}
+
+
+def _category(phase: str) -> str:
+    cat = _CATEGORY_OF.get(phase)
+    if cat is None:
+        cat = phase.split(":", 1)[0] + ":"
+        _CATEGORY_OF[phase] = cat
+    return cat
+
+
+@dataclass(frozen=True)
+class TimelineBreakdown:
+    """Seconds per category: modeled kernels, communication, everything else."""
+
+    comp: float
+    comm: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.comp + self.comm + self.other
+
+
+class Timeline:
+    """Phase-attributed time aggregates with O(1) prefix totals.
+
+    ``add`` maintains three levels of aggregate: the grand total, one bucket
+    per category prefix (``"comm:"``, ``"comp:"``, ...) and one bucket per
+    full phase label.  ``total(prefix)`` hits one of those dicts for the
+    common queries (empty prefix, a category prefix, an exact phase label)
+    and only falls back to a scan over the *distinct* phase labels — a few
+    dozen at most, independent of event count — for arbitrary prefixes.
+    """
+
+    __slots__ = ("_by_phase", "_by_category", "_grand")
+
+    def __init__(self) -> None:
+        self._by_phase: dict[str, float] = {}
+        self._by_category: dict[str, float] = {}
+        self._grand = 0.0
+
+    def add(self, phase: str, duration: float) -> None:
+        """Record ``duration`` seconds attributed to ``phase``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        by_phase = self._by_phase
+        by_phase[phase] = by_phase.get(phase, 0.0) + duration
+        category = _category(phase)
+        by_cat = self._by_category
+        by_cat[category] = by_cat.get(category, 0.0) + duration
+        self._grand += duration
+
+    def total(self, prefix: str = "") -> float:
+        """Total seconds of all phases whose label starts with ``prefix``."""
+        if not prefix:
+            return self._grand
+        hit = self._by_category.get(prefix)
+        if hit is not None:
+            return hit
+        # exact phase label, unless other labels extend it
+        hit = self._by_phase.get(prefix)
+        if hit is not None and not any(
+            p.startswith(prefix) and p != prefix for p in self._by_phase
+        ):
+            return hit
+        return sum(t for p, t in self._by_phase.items() if p.startswith(prefix))
+
+    def breakdown(self) -> TimelineBreakdown:
+        """Comp/comm/other split of everything recorded so far."""
+        comp = self._by_category.get("comp:", 0.0)
+        comm = self._by_category.get("comm:", 0.0)
+        return TimelineBreakdown(comp=comp, comm=comm, other=self._grand - comp - comm)
+
+    def reset(self) -> None:
+        self._by_phase.clear()
+        self._by_category.clear()
+        self._grand = 0.0
+
+
+class VirtualRank:
+    """One simulated GPU: a clock, a timeline, and its place in the machine."""
+
+    __slots__ = ("rank", "node", "device", "clock", "timeline")
+
+    def __init__(self, rank: int, node: int, device) -> None:
+        self.rank = rank
+        self.node = node
+        self.device = device
+        self.clock = 0.0
+        self.timeline = Timeline()
+
+    def advance(self, duration: float, phase: str) -> None:
+        """Move this rank's clock forward, attributing the time to ``phase``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.clock += duration
+        self.timeline.add(phase, duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualRank({self.rank}, node={self.node}, clock={self.clock:.6f})"
+
+
+class VirtualCluster:
+    """A fixed-size set of virtual ranks mapped onto a machine topology."""
+
+    def __init__(self, world_size: int, machine: MachineSpec = LAPTOP) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.machine = machine
+        self._ranks = [
+            VirtualRank(r, machine.node_of(r), machine.device) for r in range(world_size)
+        ]
+
+    def __getitem__(self, rank: int) -> VirtualRank:
+        return self._ranks[rank]
+
+    def __iter__(self):
+        return iter(self._ranks)
+
+    def __len__(self) -> int:
+        return self.world_size
+
+    def max_clock(self) -> float:
+        """The slowest rank's simulated time (= the cluster's wall clock)."""
+        return max(r.clock for r in self._ranks)
+
+    def barrier(self, phase: str = "comm:barrier") -> None:
+        """Synchronize every clock to the maximum, charging stragglers' wait
+        to ``phase`` (a full ``"category:detail"`` label)."""
+        t = self.max_clock()
+        for r in self._ranks:
+            wait = t - r.clock
+            if wait > 0.0:
+                r.advance(wait, phase)
+
+    def reset(self) -> None:
+        """Zero every clock and timeline (between independent runs)."""
+        for r in self._ranks:
+            r.clock = 0.0
+            r.timeline.reset()
+
+    def category_totals(self, prefix: str) -> np.ndarray:
+        """Per-rank ``timeline.total(prefix)`` as one vector — the trainer's
+        per-epoch comm/comp accounting in a single O(world) pass."""
+        return np.fromiter(
+            (r.timeline.total(prefix) for r in self._ranks),
+            dtype=np.float64,
+            count=self.world_size,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualCluster({self.world_size}, {self.machine.name})"
