@@ -55,10 +55,31 @@ class PlexusOptions:
     lr: float = 1e-2
     seed: int = 0
     noise: SpmmNoise | None = None
-    dtype: type = np.float64
+    #: dtype of every tensor the engine computes with.  float64 (the
+    #: default, resolved from None) is the validation mode that matches the
+    #: serial reference to Fig. 7 tolerance; float32 halves
+    #: memory/bandwidth and is the benchmark mode.  Threaded through the
+    #: model, layers, collectives and feature synthesis.
+    compute_dtype: type | None = None
+    #: execution engine: "batched" runs each parallel step as stacked
+    #: whole-grid tensor ops (requires divisible sharding, unblocked
+    #: aggregation, no SpMM noise), "perrank" is the reference per-rank
+    #: loop, "auto" picks batched whenever eligible.
+    engine: Literal["auto", "batched", "perrank"] = "auto"
+    #: deprecated alias for ``compute_dtype`` (kept for older call sites)
+    dtype: type | None = None
 
     def __post_init__(self) -> None:
         if self.aggregation_blocks < 1:
             raise ValueError("aggregation_blocks must be >= 1")
         if self.lr <= 0:
             raise ValueError("lr must be positive")
+        if self.engine not in ("auto", "batched", "perrank"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.compute_dtype is None:
+            self.compute_dtype = np.float64 if self.dtype is None else self.dtype
+        elif self.dtype is not None and self.dtype is not self.compute_dtype:
+            raise ValueError(
+                "pass either compute_dtype or the deprecated dtype alias, not both"
+            )
+        self.dtype = self.compute_dtype

@@ -26,6 +26,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.dist.cluster import VirtualCluster
+from repro.dist.collectives import AxisComm
 from repro.dist.group import ProcessGroup, axis_bandwidth
 
 __all__ = ["Axis", "GridConfig", "AxisRoles", "axis_roles", "PlexusGrid", "map_collective"]
@@ -168,6 +169,18 @@ class PlexusGrid:
         self._group_of: dict[Axis, list[ProcessGroup]] = {}
         for axis in Axis:
             self._build_axis_groups(axis)
+        cube = (config.gz, config.gx, config.gy)
+        self._axis_comms = {
+            axis: AxisComm(
+                store=cluster.store,
+                cube=cube,
+                axis=(1, 2, 0)[axis],  # cube position: X -> 1, Y -> 2, Z -> 0
+                size=config.size(axis),
+                bandwidth=self._groups[axis][0].bandwidth,
+                latency=self._groups[axis][0].latency,
+            )
+            for axis in Axis
+        }
 
     # -- rank mapping --------------------------------------------------------
     def coords(self, rank: int) -> tuple[int, int, int]:
@@ -201,6 +214,16 @@ class PlexusGrid:
     def groups(self, axis: Axis) -> list[ProcessGroup]:
         """All process groups along a physical axis."""
         return self._groups[axis]
+
+    def axis_comm(self, axis: Axis) -> AxisComm:
+        """The rank-batched collective descriptor for ``axis``.
+
+        Unfolds the linear rank id into the ``(Gz, Gx, Gy)`` cube (Y varies
+        fastest), so batched collectives reduce/gather over cube position
+        Z -> 0, X -> 1, Y -> 2.  Bandwidth and latency are shared by every
+        group along the axis (Eq. 4.6), so one descriptor covers them all.
+        """
+        return self._axis_comms[axis]
 
     def group_of(self, rank: int, axis: Axis) -> ProcessGroup:
         """The process group containing ``rank`` along ``axis``."""

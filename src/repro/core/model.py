@@ -7,11 +7,20 @@ ranks.  Weight initialization slices the *same* Glorot matrices the serial
 reference draws, so for any grid configuration the distributed computation
 is step-for-step comparable with :class:`repro.nn.serial.SerialGCN`
 (the Fig. 7 validation).
+
+The model owns the **engine selection**: with ``options.engine="auto"`` it
+runs the rank-batched engine (stacked ``(world, m, n)`` tensors, batched
+GEMMs/SpMMs, cube-reshaped axis collectives, one stacked optimizer)
+whenever every layer's sharding is uniform and no per-rank-only feature
+(blocked aggregation, SpMM noise) is requested, and otherwise falls back to
+the per-rank reference loop.  Both engines produce bitwise-identical
+float64 numerics; ``options.compute_dtype=np.float32`` selects the faster
+benchmark mode.  On the batched engine, per-rank accessors such as
+``f0_shards``/``label_shards``/``w_shards`` remain available as views into
+the stacks.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
@@ -70,7 +79,7 @@ class PlexusGCN:
         self.n = n
         self.layer_dims = list(layer_dims)
         self.n_classes = layer_dims[-1]
-        self.dtype = self.options.dtype
+        self.dtype = self.options.compute_dtype
         opts = self.options
 
         # -- permutation preprocessing (Sec. 5.1) --------------------------
@@ -85,11 +94,22 @@ class PlexusGCN:
             shared = self.scheme.permuted_adjacency(a_norm, 0).astype(self.dtype)
             self._perm_a = {p: shared for p in parities}
 
-        # -- layer construction --------------------------------------------
+        # -- sharding geometry + engine selection ---------------------------
         self.shardings = [
             LayerSharding(config, axis_roles(i), n, layer_dims[i], layer_dims[i + 1])
             for i in range(n_layers)
         ]
+        uniform = all(s.is_uniform(self.grid) for s in self.shardings)
+        eligible = uniform and opts.aggregation_blocks == 1 and opts.noise is None
+        if opts.engine == "batched" and not eligible:
+            raise ValueError(
+                "engine='batched' requires uniform (divisible) sharding, "
+                "aggregation_blocks=1 and noise=None; use engine='auto' to "
+                "fall back automatically"
+            )
+        self.engine = "batched" if (opts.engine == "batched" or (opts.engine == "auto" and eligible)) else "perrank"
+
+        # -- layer construction --------------------------------------------
         self._shard_cache: dict = {}
         self.layers: list[PlexusLayer] = []
         for i in range(n_layers):
@@ -108,16 +128,27 @@ class PlexusGCN:
                     tune_dw_gemm=opts.tune_dw_gemm,
                     noise=opts.noise,
                     shard_cache=self._shard_cache,
+                    engine=self.engine,
                 )
             )
 
         # -- input-feature shards (z-sub-sharded, Sec. 3.1) ------------------
         f_in_global = features[self.scheme.input_perm()].astype(self.dtype)
         s0 = self.shardings[0]
-        self.f0_shards = [
-            f_in_global[s0.f_row_subslice_z(self.grid, r), s0.f_col_slice(self.grid, r)].copy()
-            for r in range(self.grid.world_size)
-        ]
+        if self.engine == "batched":
+            self.f0_stack: np.ndarray | None = np.stack(
+                [
+                    f_in_global[s0.f_row_subslice_z(self.grid, r), s0.f_col_slice(self.grid, r)]
+                    for r in range(self.grid.world_size)
+                ]
+            )
+            self.f0_shards = list(self.f0_stack)
+        else:
+            self.f0_stack = None
+            self.f0_shards = [
+                f_in_global[s0.f_row_subslice_z(self.grid, r), s0.f_col_slice(self.grid, r)].copy()
+                for r in range(self.grid.world_size)
+            ]
 
         # -- label/mask shards aligned with the final output sharding --------
         out_perm = self.scheme.output_perm(n_layers)
@@ -132,14 +163,32 @@ class PlexusGCN:
             self.label_shards.append(labels_out[rows].copy())
             self.mask_shards.append(mask_out[rows].copy())
             self.class_slices.append(final.out_col_slice(self.grid, r))
+        if self.engine == "batched":
+            self.label_stack: np.ndarray | None = np.stack(self.label_shards)
+            self.mask_stack: np.ndarray | None = np.stack(self.mask_shards)
+            self.class_start: np.ndarray | None = np.asarray(
+                [s.start for s in self.class_slices], dtype=np.int64
+            )
+        else:
+            self.label_stack = None
+            self.mask_stack = None
+            self.class_start = None
 
-        # -- per-rank optimizers --------------------------------------------
-        self.optimizers = []
-        for r in range(self.grid.world_size):
-            params = {f"W{i}": layer.w_shards[r] for i, layer in enumerate(self.layers)}
+        # -- optimizers: one stacked Adam (batched) or one per rank ----------
+        if self.engine == "batched":
+            params = {f"W{i}": layer.w_stack for i, layer in enumerate(self.layers)}
             if opts.trainable_features:
-                params["F0"] = self.f0_shards[r]
-            self.optimizers.append(Adam(params, lr=opts.lr))
+                params["F0"] = self.f0_stack
+            self.optimizer: Adam | None = Adam(params, lr=opts.lr)
+            self.optimizers: list[Adam] = []
+        else:
+            self.optimizer = None
+            self.optimizers = []
+            for r in range(self.grid.world_size):
+                params = {f"W{i}": layer.w_shards[r] for i, layer in enumerate(self.layers)}
+                if opts.trainable_features:
+                    params["F0"] = self.f0_shards[r]
+                self.optimizers.append(Adam(params, lr=opts.lr))
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -170,17 +219,26 @@ class PlexusGCN:
         return totals
 
     # -- forward / backward ------------------------------------------------------
-    def forward(self) -> tuple[list[np.ndarray], list[LayerCache]]:
-        """Forward through all layers; returns per-rank logits and caches."""
-        acts = self.f0_shards
+    def forward(self):
+        """Forward through all layers; returns per-rank logits and caches.
+
+        Logits are a list of 2D arrays on the per-rank engine, a stacked
+        ``(world, rows, classes)`` tensor on the batched engine — both
+        indexable by rank.
+        """
+        acts = self.f0_stack if self.engine == "batched" else self.f0_shards
         caches: list[LayerCache] = []
         for layer in self.layers:
             acts, cache = layer.forward(acts)
             caches.append(cache)
         return acts, caches
 
-    def backward(self, d_logits: list[np.ndarray], caches: list[LayerCache]) -> list[dict[str, np.ndarray]]:
-        """Backward through all layers; returns per-rank gradient dicts."""
+    def backward(self, d_logits, caches: list[LayerCache]):
+        """Backward through all layers; returns gradients keyed like the
+        optimizer parameters: a stacked dict on the batched engine, one dict
+        per rank otherwise."""
+        if self.engine == "batched":
+            return self._backward_batched(d_logits, caches)
         world = self.grid.world_size
         grads: list[dict[str, np.ndarray]] = [{} for _ in range(world)]
         dq = d_logits
@@ -196,7 +254,25 @@ class PlexusGCN:
                     grads[r]["F0"] = df[r]
         return grads
 
-    def apply_gradients(self, grads: list[dict[str, np.ndarray]]) -> None:
-        """Per-rank optimizer step (shard-local Adam; exact, see Fig. 7)."""
+    def _backward_batched(self, d_logits: np.ndarray, caches: list[LayerCache]) -> dict[str, np.ndarray]:
+        grads: dict[str, np.ndarray] = {}
+        dq = d_logits
+        for i in range(self.n_layers - 1, -1, -1):
+            df, dw = self.layers[i].backward(dq, caches[i])
+            grads[f"W{i}"] = dw
+            if i > 0:
+                # chain rule through the previous layer's ReLU (Eq. 2.4),
+                # one elementwise product over the whole stacked grid
+                dq = df * relu_grad(caches[i - 1].q)
+            elif df is not None and self.options.trainable_features:
+                grads["F0"] = df
+        return grads
+
+    def apply_gradients(self, grads) -> None:
+        """Optimizer step: one stacked Adam over the rank axis (batched) or
+        shard-local per-rank Adams — elementwise-identical updates, Fig. 7."""
+        if self.engine == "batched":
+            self.optimizer.step(grads)
+            return
         for r, opt in enumerate(self.optimizers):
             opt.step(grads[r])

@@ -93,10 +93,18 @@ class PermutationScheme:
         return self.layer_row_perm(n_layers - 1)
 
     def permuted_adjacency(self, a: sp.csr_matrix, layer_idx: int) -> sp.csr_matrix:
-        """The permuted global adjacency used by ``layer_idx``."""
+        """The permuted global adjacency used by ``layer_idx``.
+
+        Returned in canonical CSR form: column permutation leaves scipy's
+        within-row index order scrambled, and downstream shard cutting
+        (per-rank and block-diagonal alike) must see one well-defined
+        accumulation order for the two execution engines to agree bitwise.
+        """
         rp = self.layer_row_perm(layer_idx)
         cp = self.layer_col_perm(layer_idx)
-        return a[rp][:, cp].tocsr()
+        out = a[rp][:, cp].tocsr()
+        out.sort_indices()
+        return out
 
 
 def build_scheme(n: int, kind: Kind = "double", seed: int | np.random.Generator = 0) -> PermutationScheme:

@@ -97,6 +97,35 @@ class LayerSharding:
     def out_col_slice(self, grid: PlexusGrid, rank: int) -> slice:
         return _slice_for(self.d_out, self.gx, self._c(grid, rank, self.roles.x))
 
+    def is_uniform(self, grid: PlexusGrid) -> bool:
+        """True when every rank's shard of every matrix has the same shape.
+
+        Divisible (N, D_in, D_out, grid) combinations shard into identical
+        blocks, which is the precondition for the rank-batched execution
+        engine's single-stack fast path; quasi-equal shapes (differing by
+        one row/column) take the per-rank reference path instead.
+        """
+        world = grid.world_size
+        for slicer in (
+            self.a_row_slice,
+            self.a_col_slice,
+            self.f_row_slice,
+            self.f_col_slice,
+            self.f_row_subslice_z,
+            self.w_row_slice,
+            self.w_col_slice,
+            self.w_row_subslice_z,
+            self.out_row_slice,
+            self.out_col_slice,
+        ):
+            first = slicer(grid, 0)
+            extent = first.stop - first.start
+            for rank in range(1, world):
+                s = slicer(grid, rank)
+                if s.stop - s.start != extent:
+                    return False
+        return True
+
     def validate_chain(self, next_sharding: "LayerSharding", grid: PlexusGrid) -> None:
         """Assert this layer's output sharding equals the next's input sharding.
 

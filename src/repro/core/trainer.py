@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.grid import PlexusGrid, map_collective
 from repro.core.model import PlexusGCN
-from repro.dist.collectives import all_gather, all_reduce
+from repro.dist.collectives import all_gather, all_reduce, axis_all_reduce
 
 __all__ = ["EpochStats", "TrainResult", "distributed_masked_ce", "distributed_accuracy", "PlexusTrainer"]
 
@@ -34,13 +34,18 @@ def _row_max(logits: np.ndarray) -> np.ndarray:
 
 def distributed_masked_ce(
     model: PlexusGCN,
-    logits: list[np.ndarray],
-) -> tuple[float, list[np.ndarray]]:
+    logits,
+) -> tuple[float, list[np.ndarray] | np.ndarray]:
     """Masked cross-entropy + gradient over sharded logits.
 
     Returns the global scalar loss (identical on every rank) and the
-    per-rank ``d loss / d logits`` shards that seed Algorithm 2.
+    per-rank ``d loss / d logits`` shards that seed Algorithm 2.  Stacked
+    ``(world, rows, classes)`` logits (the batched engine's output) take the
+    rank-vectorized path; a per-rank list takes the reference loop.  Both
+    produce bitwise-identical float64 results.
     """
+    if isinstance(logits, np.ndarray) and logits.ndim == 3:
+        return _masked_ce_batched(model, logits)
     grid: PlexusGrid = model.grid
     roles = model.shardings[-1].roles
     world = grid.world_size
@@ -67,11 +72,13 @@ def distributed_masked_ce(
         z_local.append(z)
     z_label = map_collective(grid, roles.x, z_local, all_reduce, phase="loss_zlabel")
 
-    # 3) masked sum + count along the row (z-role) axis
+    # 3) masked sum + count along the row (z-role) axis.  The masked sum is
+    # a where-product so the per-row reduction order matches the batched
+    # engine's axis-1 reduction bitwise.
     packed = []
     for r in range(world):
         nll = row_max[r] + np.log(sum_exp[r]) - z_label[r]
-        packed.append(np.array([nll[masks[r]].sum(), masks[r].sum()], dtype=np.float64))
+        packed.append(np.array([np.where(masks[r], nll, 0.0).sum(), masks[r].sum()], dtype=np.float64))
     totals = map_collective(grid, roles.z, packed, all_reduce, phase="loss_total")
     total_nll, total_cnt = totals[0][0], totals[0][1]
     if total_cnt == 0:
@@ -93,6 +100,58 @@ def distributed_masked_ce(
         g /= total_cnt
         d_logits.append(g)
     return loss, d_logits
+
+
+def _masked_ce_batched(model: PlexusGCN, logits: np.ndarray) -> tuple[float, np.ndarray]:
+    """Rank-vectorized masked cross-entropy over stacked logits.
+
+    Every per-rank loop of the reference implementation becomes one
+    reduction over a leading rank axis; the class-axis and row-axis
+    collectives run as single cube-reshaped reductions covering all groups
+    at once.  Gradient values are elementwise-identical to the reference
+    (mask products against exact 0/1, same exp/log pipeline).
+    """
+    grid: PlexusGrid = model.grid
+    roles = model.shardings[-1].roles
+    comm_x = grid.axis_comm(roles.x)
+    comm_z = grid.axis_comm(roles.z)
+    labels, masks = model.label_stack, model.mask_stack
+    c = logits.shape[2]
+    if c == 0:
+        raise ValueError("batched loss requires at least one class column per rank")
+
+    # 1) log-softmax statistics along the class (x-role) axis
+    row_max = axis_all_reduce(comm_x, logits.max(axis=2), op="max", phase="loss_max")
+    sum_exp = axis_all_reduce(
+        comm_x, np.exp(logits - row_max[:, :, None]).sum(axis=2), phase="loss_sumexp"
+    )
+
+    # 2) gather each masked node's own-label logit from the owning class shard
+    local_idx = labels - model.class_start[:, None]
+    owned = masks & (local_idx >= 0) & (local_idx < c)
+    gather_idx = np.clip(local_idx, 0, c - 1)[:, :, None]
+    z_local = np.where(owned, np.take_along_axis(logits, gather_idx, axis=2)[:, :, 0], 0.0)
+    z_label = axis_all_reduce(comm_x, z_local, phase="loss_zlabel")
+
+    # 3) masked sum + count along the row (z-role) axis
+    nll = row_max + np.log(sum_exp) - z_label
+    packed = np.empty((grid.world_size, 2), dtype=np.float64)
+    packed[:, 0] = np.where(masks, nll, 0.0).sum(axis=1)
+    packed[:, 1] = masks.sum(axis=1)
+    totals = axis_all_reduce(comm_z, packed, phase="loss_total")
+    total_nll, total_cnt = totals[0, 0], totals[0, 1]
+    if total_cnt == 0:
+        raise ValueError("empty train mask")
+    loss = float(total_nll / total_cnt)
+
+    # 4) gradient shards: (softmax - onehot)/count on masked rows
+    log_s = np.log(sum_exp)
+    probs = np.exp(logits - row_max[:, :, None] - log_s[:, :, None])
+    g = probs * masks[:, :, None]
+    vals = np.take_along_axis(g, gather_idx, axis=2) - owned[:, :, None]
+    np.put_along_axis(g, gather_idx, vals.astype(g.dtype, copy=False), axis=2)
+    g /= total_cnt
+    return loss, g
 
 
 def distributed_accuracy(model: PlexusGCN, logits: list[np.ndarray], mask_shards: list[np.ndarray]) -> float:
@@ -197,7 +256,13 @@ class PlexusTrainer:
         return result
 
     def evaluate(self, mask_global: np.ndarray) -> float:
-        """Distributed accuracy on an arbitrary global node mask."""
+        """Distributed accuracy on an arbitrary global node mask.
+
+        Evaluation drives the full engine (forward + accuracy collectives)
+        but must not perturb the experiment's timing record, so it runs
+        under :meth:`VirtualCluster.no_charge`: rank clocks and comm/comp
+        phase totals are identical before and after the call.
+        """
         model = self.model
         out_perm = model.scheme.output_perm(model.n_layers)
         mask_out = mask_global[out_perm]
@@ -206,5 +271,15 @@ class PlexusTrainer:
             mask_out[final.out_row_slice(model.grid, r)]
             for r in range(model.grid.world_size)
         ]
-        logits, _ = model.forward()
-        return distributed_accuracy(model, logits, shards)
+        # The SpMM noise sampler is stateful; snapshot it alongside the
+        # clocks so an evaluation pass leaves the next epoch's draws (and
+        # hence its charged kernel times) untouched too.
+        noise = model.options.noise
+        rng_state = noise._rng.bit_generator.state if noise is not None else None
+        try:
+            with model.cluster.no_charge():
+                logits, _ = model.forward()
+                return distributed_accuracy(model, logits, shards)
+        finally:
+            if noise is not None:
+                noise._rng.bit_generator.state = rng_state

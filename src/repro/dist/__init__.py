@@ -5,6 +5,12 @@ topologies (``topology``), per-rank clocks with O(1) phase-attributed time
 accounting (``cluster``), process groups with the Eq. 4.6 effective
 bandwidth model (``group``), and executable ring collectives that move real
 numpy shards while charging the Eq. 4.5 cost models (``collectives``).
+
+Two collective APIs coexist: the group-wise functions (``all_reduce`` & co,
+one call per process group) and the rank-batched axis collectives
+(``axis_all_reduce`` & co), which execute every group along a grid axis as
+one cube-reshaped reduction over a stacked ``(world, ...)`` operand — the
+execution engine's fast path.
 """
 
 from repro.dist.topology import (
@@ -14,10 +20,14 @@ from repro.dist.topology import (
     MachineSpec,
     machine_by_name,
 )
-from repro.dist.cluster import Timeline, TimelineBreakdown, VirtualCluster, VirtualRank
+from repro.dist.cluster import ClockStore, Timeline, TimelineBreakdown, VirtualCluster, VirtualRank
 from repro.dist.group import ProcessGroup, axis_bandwidth
 from repro.dist.collectives import (
+    AxisComm,
     all_gather,
+    axis_all_gather,
+    axis_all_reduce,
+    axis_reduce_scatter,
     all_reduce,
     all_to_all,
     all_to_all_time,
@@ -35,6 +45,7 @@ __all__ = [
     "FRONTIER",
     "LAPTOP",
     "machine_by_name",
+    "ClockStore",
     "Timeline",
     "TimelineBreakdown",
     "VirtualCluster",
@@ -46,6 +57,10 @@ __all__ = [
     "reduce_scatter",
     "broadcast",
     "all_to_all",
+    "AxisComm",
+    "axis_all_reduce",
+    "axis_all_gather",
+    "axis_reduce_scatter",
     "ring_all_reduce_time",
     "ring_all_gather_time",
     "ring_reduce_scatter_time",

@@ -1,14 +1,22 @@
-"""The virtual cluster: per-rank clocks and O(1) timeline accounting.
+"""The virtual cluster: rank clocks and phase accounting as numpy arrays.
 
 Every rank of the simulation owns a scalar clock (simulated seconds) and a
 :class:`Timeline` that attributes every clock advance to a phase label of
 the form ``"category:detail"`` (``"comp:spmm_fwd"``, ``"comm:all_reduce_h"``,
-...).  The trainer queries ``timeline.total("comm:")`` and
-``timeline.total("comp:")`` for *every rank on every epoch*, so the timeline
-keeps running aggregates bucketed by phase and by category instead of an
-event list: the hot prefix queries are single dict lookups, O(1) in the
-number of recorded events, and memory stays constant no matter how many
-epochs the simulation runs.
+...).  The storage is *columnar*: one :class:`VirtualCluster` keeps a single
+``(world,)`` clock vector plus one ``(world,)`` accumulator per phase label
+and per category prefix, and each :class:`VirtualRank` / :class:`Timeline`
+is a lightweight view onto index ``r`` of those arrays.  That layout is what
+lets the rank-batched execution engine advance *every* rank of a collective
+step with a handful of vectorized operations (`advance_all`, `advance_at`,
+and the cube-reshaped straggler sync in ``repro.dist.collectives``) instead
+of ``world_size`` interpreter round-trips — the per-rank scalar API is kept
+for tests and for code that genuinely acts on one rank.
+
+The trainer queries ``category_totals("comm:")`` / ``("comp:")`` for every
+rank on every epoch; those are single dict lookups returning the bucket
+vector, O(1) in the number of recorded events, and memory stays constant no
+matter how many epochs the simulation runs.
 
 Straggler semantics: :meth:`VirtualCluster.barrier` (and every collective in
 ``repro.dist.collectives``) first lifts each participant to the group's
@@ -19,6 +27,7 @@ timing protocol observes (Sec. 6.2).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +39,7 @@ __all__ = ["TimelineBreakdown", "Timeline", "VirtualRank", "VirtualCluster"]
 
 #: phase label -> "category:" prefix, shared across all timelines.  Phase
 #: labels form a small fixed vocabulary, so caching the split turns the
-#: hottest line of Timeline.add into a dict hit.
+#: hottest line of the accounting into a dict hit.
 _CATEGORY_OF: dict[str, str] = {}
 
 
@@ -55,80 +64,197 @@ class TimelineBreakdown:
         return self.comp + self.comm + self.other
 
 
-class Timeline:
-    """Phase-attributed time aggregates with O(1) prefix totals.
+class ClockStore:
+    """Columnar clock/timeline state for a set of ranks.
 
-    ``add`` maintains three levels of aggregate: the grand total, one bucket
-    per category prefix (``"comm:"``, ``"comp:"``, ...) and one bucket per
-    full phase label.  ``total(prefix)`` hits one of those dicts for the
-    common queries (empty prefix, a category prefix, an exact phase label)
-    and only falls back to a scan over the *distinct* phase labels — a few
-    dozen at most, independent of event count — for arbitrary prefixes.
+    ``clocks`` is a ``(world,)`` float vector; ``by_phase`` and
+    ``by_category`` map each label to its own ``(world,)`` accumulator.  The
+    grand total is *derived* (sum over the handful of category buckets) so
+    every recording touches exactly two accumulators — the hot path runs
+    tens of times per simulated epoch.  All mutation funnels through the
+    ``record_*`` methods so vectorized and scalar callers stay consistent.
     """
 
-    __slots__ = ("_by_phase", "_by_category", "_grand")
+    __slots__ = ("world", "clocks", "by_phase", "by_category")
 
-    def __init__(self) -> None:
-        self._by_phase: dict[str, float] = {}
-        self._by_category: dict[str, float] = {}
-        self._grand = 0.0
+    def __init__(self, world: int) -> None:
+        self.world = world
+        self.clocks = np.zeros(world, dtype=np.float64)
+        self.by_phase: dict[str, np.ndarray] = {}
+        self.by_category: dict[str, np.ndarray] = {}
+
+    # -- bucket access ---------------------------------------------------------
+    def phase_bucket(self, phase: str) -> np.ndarray:
+        b = self.by_phase.get(phase)
+        if b is None:
+            b = self.by_phase[phase] = np.zeros(self.world, dtype=np.float64)
+        return b
+
+    def category_bucket(self, category: str) -> np.ndarray:
+        b = self.by_category.get(category)
+        if b is None:
+            b = self.by_category[category] = np.zeros(self.world, dtype=np.float64)
+        return b
+
+    def grand_totals(self) -> np.ndarray:
+        """Per-rank total seconds (fresh vector, summed over categories)."""
+        out = np.zeros(self.world, dtype=np.float64)
+        for bucket in self.by_category.values():
+            out += bucket
+        return out
+
+    # -- accounting (clock updates stay with the caller) -----------------------
+    def record_at(self, i: int, phase: str, duration: float) -> None:
+        self.phase_bucket(phase)[i] += duration
+        self.category_bucket(_category(phase))[i] += duration
+
+    def record_all(self, phase: str, durations: np.ndarray | float) -> None:
+        """Attribute per-rank ``durations`` (scalar broadcasts) to ``phase``."""
+        self.phase_bucket(phase)[:] += durations
+        self.category_bucket(_category(phase))[:] += durations
+
+    def record_idx(self, idx: np.ndarray, phase: str, durations: np.ndarray | float) -> None:
+        self.phase_bucket(phase)[idx] += durations
+        self.category_bucket(_category(phase))[idx] += durations
+
+    # -- queries ---------------------------------------------------------------
+    def prefix_totals(self, prefix: str) -> np.ndarray:
+        """Fresh ``(world,)`` vector of seconds in phases matching ``prefix``."""
+        if not prefix:
+            return self.grand_totals()
+        hit = self.by_category.get(prefix)
+        if hit is not None:
+            return hit.copy()
+        hit = self.by_phase.get(prefix)
+        if hit is not None and not any(
+            p.startswith(prefix) and p != prefix for p in self.by_phase
+        ):
+            return hit.copy()
+        out = np.zeros(self.world, dtype=np.float64)
+        for p, bucket in self.by_phase.items():
+            if p.startswith(prefix):
+                out += bucket
+        return out
+
+    # -- lifecycle -------------------------------------------------------------
+    def reset(self) -> None:
+        self.clocks[:] = 0.0
+        self.by_phase.clear()
+        self.by_category.clear()
+
+    def snapshot(self) -> tuple:
+        return (
+            self.clocks.copy(),
+            {k: v.copy() for k, v in self.by_phase.items()},
+            {k: v.copy() for k, v in self.by_category.items()},
+        )
+
+    def restore(self, snap: tuple) -> None:
+        clocks, by_phase, by_category = snap
+        self.clocks[:] = clocks
+        self.by_phase.clear()
+        self.by_phase.update(by_phase)
+        self.by_category.clear()
+        self.by_category.update(by_category)
+
+
+class Timeline:
+    """Phase-attributed time totals of one rank — a view into a ClockStore.
+
+    ``total(prefix)`` hits the store's per-category / per-phase buckets for
+    the common queries (empty prefix, a category prefix, an exact phase
+    label) and only falls back to a scan over the *distinct* phase labels —
+    a few dozen at most, independent of event count — for arbitrary
+    prefixes.  A bare ``Timeline()`` owns a private single-rank store, so it
+    still works standalone.
+    """
+
+    __slots__ = ("_store", "_i")
+
+    def __init__(self, store: ClockStore | None = None, index: int = 0) -> None:
+        self._store = ClockStore(1) if store is None else store
+        self._i = index
 
     def add(self, phase: str, duration: float) -> None:
         """Record ``duration`` seconds attributed to ``phase``."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        by_phase = self._by_phase
-        by_phase[phase] = by_phase.get(phase, 0.0) + duration
-        category = _category(phase)
-        by_cat = self._by_category
-        by_cat[category] = by_cat.get(category, 0.0) + duration
-        self._grand += duration
+        self._store.record_at(self._i, phase, duration)
 
     def total(self, prefix: str = "") -> float:
         """Total seconds of all phases whose label starts with ``prefix``."""
+        store, i = self._store, self._i
         if not prefix:
-            return self._grand
-        hit = self._by_category.get(prefix)
+            return float(sum(b[i] for b in store.by_category.values()))
+        hit = store.by_category.get(prefix)
         if hit is not None:
-            return hit
-        # exact phase label, unless other labels extend it
-        hit = self._by_phase.get(prefix)
+            return float(hit[i])
+        hit = store.by_phase.get(prefix)
         if hit is not None and not any(
-            p.startswith(prefix) and p != prefix for p in self._by_phase
+            p.startswith(prefix) and p != prefix for p in store.by_phase
         ):
-            return hit
-        return sum(t for p, t in self._by_phase.items() if p.startswith(prefix))
+            return float(hit[i])
+        return float(
+            sum(b[i] for p, b in store.by_phase.items() if p.startswith(prefix))
+        )
 
     def breakdown(self) -> TimelineBreakdown:
         """Comp/comm/other split of everything recorded so far."""
-        comp = self._by_category.get("comp:", 0.0)
-        comm = self._by_category.get("comm:", 0.0)
-        return TimelineBreakdown(comp=comp, comm=comm, other=self._grand - comp - comm)
+        store, i = self._store, self._i
+        comp_b = store.by_category.get("comp:")
+        comm_b = store.by_category.get("comm:")
+        comp = float(comp_b[i]) if comp_b is not None else 0.0
+        comm = float(comm_b[i]) if comm_b is not None else 0.0
+        grand = float(sum(b[i] for b in store.by_category.values()))
+        return TimelineBreakdown(comp=comp, comm=comm, other=grand - comp - comm)
 
     def reset(self) -> None:
-        self._by_phase.clear()
-        self._by_category.clear()
-        self._grand = 0.0
+        store, i = self._store, self._i
+        for bucket in store.by_phase.values():
+            bucket[i] = 0.0
+        for bucket in store.by_category.values():
+            bucket[i] = 0.0
 
 
 class VirtualRank:
-    """One simulated GPU: a clock, a timeline, and its place in the machine."""
+    """One simulated GPU: a clock, a timeline, and its place in the machine.
 
-    __slots__ = ("rank", "node", "device", "clock", "timeline")
+    Clock and timeline data live in the owning cluster's :class:`ClockStore`
+    (this object is a per-index view); a standalone ``VirtualRank`` gets a
+    private single-rank store.
+    """
 
-    def __init__(self, rank: int, node: int, device) -> None:
+    __slots__ = ("rank", "node", "device", "timeline", "_store", "_i")
+
+    def __init__(
+        self,
+        rank: int,
+        node: int,
+        device,
+        store: ClockStore | None = None,
+        index: int | None = None,
+    ) -> None:
         self.rank = rank
         self.node = node
         self.device = device
-        self.clock = 0.0
-        self.timeline = Timeline()
+        self._store = ClockStore(1) if store is None else store
+        self._i = 0 if store is None else (rank if index is None else index)
+        self.timeline = Timeline(self._store, self._i)
+
+    @property
+    def clock(self) -> float:
+        return float(self._store.clocks[self._i])
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self._store.clocks[self._i] = value
 
     def advance(self, duration: float, phase: str) -> None:
         """Move this rank's clock forward, attributing the time to ``phase``."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        self.clock += duration
-        self.timeline.add(phase, duration)
+        self._store.clocks[self._i] += duration
+        self._store.record_at(self._i, phase, duration)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualRank({self.rank}, node={self.node}, clock={self.clock:.6f})"
@@ -142,8 +268,10 @@ class VirtualCluster:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
         self.machine = machine
+        self.store = ClockStore(world_size)
         self._ranks = [
-            VirtualRank(r, machine.node_of(r), machine.device) for r in range(world_size)
+            VirtualRank(r, machine.node_of(r), machine.device, store=self.store)
+            for r in range(world_size)
         ]
 
     def __getitem__(self, rank: int) -> VirtualRank:
@@ -155,33 +283,67 @@ class VirtualCluster:
     def __len__(self) -> int:
         return self.world_size
 
+    @property
+    def clocks(self) -> np.ndarray:
+        """The live ``(world,)`` clock vector (mutate via advance_* only)."""
+        return self.store.clocks
+
     def max_clock(self) -> float:
         """The slowest rank's simulated time (= the cluster's wall clock)."""
-        return max(r.clock for r in self._ranks)
+        return float(self.store.clocks.max())
+
+    # -- batched advancement (the engine's hot path) ---------------------------
+    def advance_all(self, durations: np.ndarray | float, phase: str) -> None:
+        """Advance every rank at once; ``durations`` is scalar or ``(world,)``.
+
+        Durations must be non-negative; arrays are trusted (the engine feeds
+        precomputed kernel-time vectors, validated at construction), scalars
+        are checked.
+        """
+        if not isinstance(durations, np.ndarray) and durations < 0:
+            raise ValueError("duration must be non-negative")
+        self.store.clocks += durations
+        self.store.record_all(phase, durations)
+
+    def advance_at(self, idx: np.ndarray, durations: np.ndarray | float, phase: str) -> None:
+        """Advance the ranks in ``idx``; ``durations`` is scalar or matches ``idx``."""
+        if not isinstance(durations, np.ndarray) and durations < 0:
+            raise ValueError("duration must be non-negative")
+        self.store.clocks[idx] += durations
+        self.store.record_idx(idx, phase, durations)
 
     def barrier(self, phase: str = "comm:barrier") -> None:
         """Synchronize every clock to the maximum, charging stragglers' wait
         to ``phase`` (a full ``"category:detail"`` label)."""
-        t = self.max_clock()
-        for r in self._ranks:
-            wait = t - r.clock
-            if wait > 0.0:
-                r.advance(wait, phase)
+        clocks = self.store.clocks
+        t = clocks.max()
+        waits = t - clocks
+        clocks[:] = t
+        self.store.record_all(phase, waits)
 
     def reset(self) -> None:
         """Zero every clock and timeline (between independent runs)."""
-        for r in self._ranks:
-            r.clock = 0.0
-            r.timeline.reset()
+        self.store.reset()
+
+    @contextmanager
+    def no_charge(self):
+        """Context under which simulated time and phase totals do not change.
+
+        Snapshots the clock/timeline state on entry and restores it on exit,
+        so diagnostic passes (e.g. ``PlexusTrainer.evaluate``) can drive the
+        full engine without polluting the experiment's epoch accounting.
+        """
+        snap = self.store.snapshot()
+        try:
+            yield self
+        finally:
+            self.store.restore(snap)
 
     def category_totals(self, prefix: str) -> np.ndarray:
-        """Per-rank ``timeline.total(prefix)`` as one vector — the trainer's
-        per-epoch comm/comp accounting in a single O(world) pass."""
-        return np.fromiter(
-            (r.timeline.total(prefix) for r in self._ranks),
-            dtype=np.float64,
-            count=self.world_size,
-        )
+        """Per-rank seconds in phases matching ``prefix`` as one fresh vector
+        — the trainer's per-epoch comm/comp accounting in a single O(1)
+        bucket lookup (plus a copy)."""
+        return self.store.prefix_totals(prefix)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualCluster({self.world_size}, {self.machine.name})"

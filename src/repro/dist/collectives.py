@@ -32,10 +32,12 @@ effective bandwidth from Eq. 4.6, ``alpha`` = per-hop latency):
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.dist.cluster import ClockStore
 from repro.dist.group import ProcessGroup
 from repro.sparse.partition import block_slices
 
@@ -50,6 +52,10 @@ __all__ = [
     "reduce_scatter",
     "broadcast",
     "all_to_all",
+    "AxisComm",
+    "axis_all_reduce",
+    "axis_all_gather",
+    "axis_reduce_scatter",
 ]
 
 
@@ -139,11 +145,23 @@ def _charge(group: ProcessGroup, seconds: float, phase: str) -> None:
     The wait until the slowest member arrives is communication time from the
     waiting rank's perspective — that attribution is what makes compute
     imbalance surface as comm time in epoch breakdowns (Sec. 6.2).
+
+    When all members share one ClockStore (the usual case) the sync is a
+    handful of vectorized operations on ``clocks[member_idx]``; otherwise it
+    falls back to per-member scalar advances.
     """
     members = group.members
     if len(members) == 1:
         if seconds > 0.0:
             members[0].advance(seconds, phase)
+        return
+    store, idx = group.store, group.member_idx
+    if store is not None:
+        clocks = store.clocks[idx]  # a strided view for grid-axis groups
+        start = clocks.max()
+        waits_plus = (start - clocks) + seconds  # before the aliased write below
+        store.clocks[idx] = start + seconds
+        store.record_idx(idx, phase, waits_plus)
         return
     start = max(m.clock for m in members)
     for m in members:
@@ -272,3 +290,137 @@ def all_to_all(
     t = all_to_all_time(nbytes, g, group.bandwidth, group.latency)
     _charge(group, t, "comm:" + phase)
     return out
+
+
+# ---------------------------------------------------------------------------
+# rank-batched axis collectives (the execution engine's fast path)
+# ---------------------------------------------------------------------------
+#
+# The group-wise collectives above take one Python call per process group —
+# 16 calls per step on a 64-rank X4Y4Z4 grid.  When every rank's shard has
+# the same shape (divisible sharding), the whole world can instead be kept
+# as ONE stacked array of shape ``(world, *shard_shape)``: under the
+# Y-fastest rank mapping, reshaping the leading axis to the grid cube
+# ``(Gz, Gx, Gy)`` turns "reduce across every X-parallel group" into a
+# single ``np.add.reduce`` over one cube axis, and the straggler sync into a
+# single ``max`` over the same axis of the clock vector.  One vectorized
+# call replaces all groups of the axis.  Member order within a group equals
+# ascending coordinate along the axis — identical to the group-wise path —
+# so results (and clock evolution) match the per-group collectives
+# element for element.  Reductions run in the stacked array's dtype, so the
+# engine's ``compute_dtype`` (float32 benchmarks / float64 validation)
+# carries through unchanged.
+
+
+@dataclass(frozen=True)
+class AxisComm:
+    """Everything a batched collective needs about one grid axis.
+
+    ``cube`` is the clock/shard cube shape ``(Gz, Gx, Gy)`` (rank id =
+    ``z*(Gx*Gy) + x*Gy + y``), ``axis`` the cube position being reduced /
+    gathered over (Z -> 0, X -> 1, Y -> 2), and ``size`` its extent.  All
+    process groups along one grid axis share ``bandwidth`` (Eq. 4.6) and
+    ``latency``, which is what makes a single time charge per axis valid.
+    """
+
+    store: ClockStore
+    cube: tuple[int, int, int]
+    axis: int
+    size: int
+    bandwidth: float
+    latency: float
+
+    @property
+    def world(self) -> int:
+        return self.cube[0] * self.cube[1] * self.cube[2]
+
+
+def _axis_charge(comm: AxisComm, seconds: float, phase: str) -> None:
+    """Vectorized `_charge` for every group along the axis at once."""
+    clock_cube = comm.store.clocks.reshape(comm.cube)
+    start = np.maximum.reduce(clock_cube, axis=comm.axis, keepdims=True)
+    waits_plus = (start - clock_cube) + seconds
+    clock_cube[...] = start + seconds
+    comm.store.record_all(phase, waits_plus.ravel())
+
+
+def _moved(a: np.ndarray, src: int, dst: int) -> np.ndarray:
+    """`np.moveaxis` without its per-call axis normalization overhead."""
+    axes = list(range(a.ndim))
+    axes.insert(dst, axes.pop(src))
+    return a.transpose(axes)
+
+
+def _check_stacked(comm: AxisComm, stacked: np.ndarray) -> None:
+    if stacked.shape[0] != comm.world:
+        raise ValueError(
+            f"stacked operand has leading extent {stacked.shape[0]}, expected world={comm.world}"
+        )
+
+
+def axis_all_reduce(
+    comm: AxisComm, stacked: np.ndarray, op: str = "sum", phase: str = "all_reduce"
+) -> np.ndarray:
+    """All-reduce ``stacked[(world, *shard)]`` within every axis group at once."""
+    _check_stacked(comm, stacked)
+    if op not in _REDUCERS:
+        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
+    g = comm.size
+    if g == 1:
+        return stacked
+    tail = stacked.shape[1:]
+    cube = stacked.reshape(comm.cube + tail)
+    reduced = _REDUCERS[op](cube, axis=comm.axis)
+    t = ring_all_reduce_time(stacked[0].nbytes, g, comm.bandwidth, comm.latency)
+    _axis_charge(comm, t, "comm:" + phase)
+    out = np.empty(comm.cube + tail, dtype=stacked.dtype)
+    out[...] = reduced[(slice(None),) * comm.axis + (None,)]
+    return out.reshape((comm.world,) + tail)
+
+
+def axis_all_gather(comm: AxisComm, stacked: np.ndarray, phase: str = "all_gather") -> np.ndarray:
+    """All-gather along the shard row axis: every member of a group receives
+    the group's shards concatenated (in member order) along data axis 0."""
+    _check_stacked(comm, stacked)
+    g = comm.size
+    if g == 1:
+        return stacked
+    m, tail = stacked.shape[1], stacked.shape[2:]
+    cube = stacked.reshape(comm.cube + (m,) + tail)
+    # bring the group axis adjacent to the row axis, fuse, broadcast back
+    moved = _moved(cube, comm.axis, 2)
+    o0, o1 = moved.shape[0], moved.shape[1]
+    gathered = moved.reshape(o0, o1, g * m, *tail)
+    t = ring_all_gather_time(g * stacked[0].nbytes, g, comm.bandwidth, comm.latency)
+    _axis_charge(comm, t, "comm:" + phase)
+    out = np.empty(comm.cube + (g * m,) + tail, dtype=stacked.dtype)
+    _moved(out, comm.axis, 2)[...] = gathered[:, :, None]
+    return out.reshape((comm.world, g * m) + tail)
+
+
+def axis_reduce_scatter(
+    comm: AxisComm, stacked: np.ndarray, op: str = "sum", phase: str = "reduce_scatter"
+) -> np.ndarray:
+    """Reduce within every axis group, then scatter equal row blocks of the
+    result along data axis 0: the member at coordinate ``j`` gets block ``j``.
+    Requires the row extent to divide evenly (the engine's fast-path
+    precondition; quasi-equal shapes take the group-wise path instead)."""
+    _check_stacked(comm, stacked)
+    if op not in _REDUCERS:
+        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
+    g = comm.size
+    if g == 1:
+        return stacked
+    m, tail = stacked.shape[1], stacked.shape[2:]
+    if m % g != 0:
+        raise ValueError(f"row extent {m} not divisible by group size {g}")
+    cube = stacked.reshape(comm.cube + (m,) + tail)
+    reduced = _REDUCERS[op](cube, axis=comm.axis)
+    t = ring_reduce_scatter_time(stacked[0].nbytes, g, comm.bandwidth, comm.latency)
+    _axis_charge(comm, t, "comm:" + phase)
+    mb = m // g
+    o0, o1 = reduced.shape[0], reduced.shape[1]
+    blocks = reduced.reshape(o0, o1, g, mb, *tail)
+    out = np.empty(comm.cube + (mb,) + tail, dtype=stacked.dtype)
+    _moved(out, comm.axis, 2)[...] = blocks
+    return out.reshape((comm.world, mb) + tail)

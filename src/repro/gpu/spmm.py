@@ -22,10 +22,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpu.device import DeviceSpec
 from repro.gpu.profiler import KernelProfile
 
-__all__ = ["SpmmShard", "spmm_shape_factor", "spmm_kernel_profile", "spmm_time", "spmm_flops"]
+__all__ = ["SpmmShard", "spmm_shape_factor", "spmm_kernel_profile", "spmm_time", "spmm_time_batch", "spmm_flops"]
 
 #: nonzeros consumed by one CTA (calibrated from Table 2: 1,971,360/20,223
 #: = 97.5 and 126,167,053/1,313,241 = 96.1)
@@ -102,6 +104,34 @@ def spmm_time(shard: SpmmShard, device: DeviceSpec) -> float:
         return 0.0
     effective_bw = device.memory_bw * device.spmm_efficiency * spmm_shape_factor(shard.cols)
     return _bytes_moved(shard, device) / effective_bw
+
+
+def spmm_time_batch(
+    rows: np.ndarray, k: np.ndarray, cols: np.ndarray, nnz: np.ndarray, device: DeviceSpec
+) -> np.ndarray:
+    """Vectorized :func:`spmm_time` over per-rank shard-shape arrays.
+
+    Same model, evaluated for a whole grid of shards in one pass — the
+    rank-batched layer engine precomputes its per-rank kernel-time vectors
+    with this instead of ``world_size`` scalar calls.
+    """
+    rows, k, cols, nnz = np.broadcast_arrays(
+        np.asarray(rows, dtype=np.float64),
+        np.asarray(k, dtype=np.float64),
+        np.asarray(cols, dtype=np.float64),
+        np.asarray(nnz, dtype=np.float64),
+    )
+    if np.any(cols <= 0):
+        raise ValueError("cols must be positive")
+    a_bytes = 8.0 * nnz
+    dense_bytes = 4.0 * k * cols
+    miss = np.clip(0.5 * dense_bytes / max(device.l2_bytes, 1.0), 0.05, 1.0)
+    extra_touches = np.maximum(nnz - k, 0.0)
+    f_bytes = 4.0 * cols * (np.minimum(k, nnz) + extra_touches * miss)
+    h_bytes = 4.0 * rows * cols
+    shape_factor = np.minimum(1.0, cols / 8.0) ** 1.3
+    effective_bw = device.memory_bw * device.spmm_efficiency * shape_factor
+    return np.where(nnz == 0, 0.0, (a_bytes + f_bytes + h_bytes) / effective_bw)
 
 
 def spmm_kernel_profile(shard: SpmmShard, device: DeviceSpec, kernel: str = "spmm_csr_rowsplit") -> KernelProfile:

@@ -18,11 +18,16 @@ __all__ = ["synth_features", "degree_labels", "random_split_masks"]
 
 
 def synth_features(n: int, dim: int, seed: int | np.random.Generator = 0, dtype=np.float64) -> np.ndarray:
-    """Random node features, unit-variance normal (what the paper generates)."""
+    """Random node features, unit-variance normal (what the paper generates).
+
+    ``dtype`` is the engine's ``compute_dtype`` hook: benchmarks synthesize
+    float32 features directly (drawn in float64 for seed-stable values, then
+    cast once without an extra copy), validation keeps float64.
+    """
     if n < 0 or dim <= 0:
         raise ValueError("need n >= 0 and dim > 0")
     rng = rng_from_seed(seed)
-    return (rng.standard_normal((n, dim)) * 0.1).astype(dtype)
+    return (rng.standard_normal((n, dim)) * 0.1).astype(dtype, copy=False)
 
 
 def degree_labels(a: sp.csr_matrix, n_classes: int, seed: int | np.random.Generator = 0) -> np.ndarray:

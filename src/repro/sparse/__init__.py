@@ -17,6 +17,7 @@ from repro.sparse.ops import (
 )
 from repro.sparse.partition import (
     block_slices,
+    csr_block,
     partition_2d,
     block_nnz_counts,
     nnz_balance_stats,
@@ -32,6 +33,7 @@ __all__ = [
     "to_csr",
     "random_sparse",
     "block_slices",
+    "csr_block",
     "partition_2d",
     "block_nnz_counts",
     "nnz_balance_stats",

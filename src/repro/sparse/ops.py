@@ -30,9 +30,11 @@ def add_self_loops(a: sp.csr_matrix) -> sp.csr_matrix:
     n, m = a.shape
     if n != m:
         raise ValueError(f"adjacency matrix must be square, got {a.shape}")
-    out = a.tolil(copy=True)
-    out.setdiag(1.0)
-    return to_csr(out, dtype=a.dtype)
+    # A + diag(1 - diag(A)) pins the whole diagonal to exactly 1.0 using
+    # CSR+CSR addition (one merge pass) — no LIL round-trip, which touches
+    # every row list and dominates preprocessing on large generated graphs.
+    correction = sp.diags(1.0 - a.diagonal(), format="csr", dtype=a.dtype)
+    return to_csr(a + correction, dtype=a.dtype)
 
 
 def sym_normalize(a: sp.csr_matrix) -> sp.csr_matrix:
@@ -68,14 +70,20 @@ def gin_normalize(a: sp.csr_matrix | sp.spmatrix, eps: float = 0.0) -> sp.csr_ma
     """
     if eps <= -1.0:
         raise ValueError("eps must be > -1 (the self weight 1+eps must stay positive)")
-    mat = to_csr(a).tolil(copy=True)
-    mat.setdiag(mat.diagonal() + 1.0 + eps)
-    return to_csr(mat)
+    mat = to_csr(a)
+    return to_csr(mat + sp.identity(mat.shape[0], format="csr", dtype=mat.dtype) * (1.0 + eps))
 
 
 def spmm(a: sp.csr_matrix, f: np.ndarray) -> np.ndarray:
-    """Sparse @ dense (Eq. 2.1).  Kept as a seam so the simulated-GPU layer
-    can wrap it with kernel-time accounting."""
+    """Sparse @ dense (Eq. 2.1).
+
+    The single seam every engine's sparse product goes through — the serial
+    reference, the per-rank layer loop, and the rank-batched block-diagonal
+    path (:class:`repro.core.batch.BlockDiagSpmm`) all call it — so a
+    real-GPU backend or an instrumented kernel swaps in at exactly one
+    place.  Kernel-*time* accounting stays with the caller (the layers
+    charge precomputed per-rank time vectors), keeping this a pure data op.
+    """
     if a.shape[1] != f.shape[0]:
         raise ValueError(f"SpMM shape mismatch: {a.shape} @ {f.shape}")
     return np.asarray(a @ f)

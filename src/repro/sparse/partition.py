@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["block_slices", "partition_2d", "block_nnz_counts", "nnz_balance_stats", "BalanceStats"]
+__all__ = ["block_slices", "csr_block", "partition_2d", "block_nnz_counts", "nnz_balance_stats", "BalanceStats"]
 
 
 def block_slices(n: int, parts: int) -> list[slice]:
@@ -37,11 +37,39 @@ def block_slices(n: int, parts: int) -> list[slice]:
     return out
 
 
+def csr_block(a: sp.csr_matrix, rows: slice, cols: slice) -> sp.csr_matrix:
+    """Extract the contiguous block ``a[rows, cols]`` in one CSR pass.
+
+    Equivalent to ``a[rows, :][:, cols].tocsr()`` but without the two
+    intermediate matrices that double slice materializes: the row band is a
+    view on ``indptr``/``indices``/``data``, the column window is a single
+    boolean mask over that band, and the block's ``indptr`` falls out of one
+    cumulative sum indexed at the row boundaries.  O(nnz of the row band),
+    which is what makes cutting hundreds of shard sets per model cheap.
+    """
+    n_rows, n_cols = a.shape
+    r0, r1, r_step = rows.indices(n_rows)
+    c0, c1, c_step = cols.indices(n_cols)
+    if r_step != 1 or c_step != 1:
+        raise ValueError("csr_block requires contiguous (step-1) slices")
+    indptr = a.indptr
+    lo, hi = indptr[r0], indptr[r1]
+    indices = a.indices[lo:hi]
+    keep = (indices >= c0) & (indices < c1)
+    csum = np.concatenate(([0], np.cumsum(keep, dtype=a.indptr.dtype)))
+    new_indptr = csum[indptr[r0 : r1 + 1] - lo]
+    block = sp.csr_matrix(
+        (a.data[lo:hi][keep], (indices[keep] - c0).astype(a.indices.dtype, copy=False), new_indptr),
+        shape=(r1 - r0, c1 - c0),
+    )
+    return block
+
+
 def partition_2d(a: sp.csr_matrix, row_parts: int, col_parts: int) -> list[list[sp.csr_matrix]]:
     """Cut ``a`` into a ``row_parts x col_parts`` grid of CSR shards."""
     rows = block_slices(a.shape[0], row_parts)
     cols = block_slices(a.shape[1], col_parts)
-    return [[a[rs, cs].tocsr() for cs in cols] for rs in rows]
+    return [[csr_block(a, rs, cs) for cs in cols] for rs in rows]
 
 
 def block_nnz_counts(a: sp.csr_matrix, row_parts: int, col_parts: int) -> np.ndarray:

@@ -1,0 +1,167 @@
+"""Rank-batched engine vs per-rank reference: exact-parity property tests.
+
+The batched engine reorganizes every hot-path operation (stacked GEMMs,
+block-diagonal SpMM, cube-reshaped axis collectives, stacked Adam) but must
+not change a single bit of the float64 computation — the per-rank loop is
+the pre-refactor reference and Fig. 7's serial-parity oracle sits on top of
+it.  These tests train the same model under both engines on random grids up
+to X3Y2Z2 and assert bitwise equality of losses, weights and even the
+simulated rank clocks; in float32 mode (the benchmark dtype) agreement is
+atol-bounded instead.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GridConfig, PlexusGCN, PlexusOptions, PlexusTrainer, SpmmNoise
+from repro.core.batch import BlockDiagSpmm, batched_matmul
+from repro.dist import PERLMUTTER, VirtualCluster
+from repro.graph.features import degree_labels, random_split_masks, synth_features
+from repro.graph.generators import rmat_graph
+from repro.sparse.ops import gcn_normalize, random_sparse
+
+#: divisible by every axis size (1..3) and every pairwise axis product of
+#: the grids below, so the batched engine is always eligible
+N_NODES = 72
+DIMS = [24, 24, 12]
+
+GRIDS = [
+    GridConfig(3, 2, 2),
+    GridConfig(2, 2, 2),
+    GridConfig(3, 1, 2),
+    GridConfig(1, 2, 3),
+    GridConfig(2, 3, 1),
+    GridConfig(1, 1, 1),
+]
+
+
+def _dataset(seed):
+    a = gcn_normalize(rmat_graph(N_NODES, avg_degree=6, seed=seed))
+    feats = synth_features(N_NODES, DIMS[0], seed + 1)
+    labels = degree_labels(a, DIMS[-1], seed + 2)
+    train, _, _ = random_split_masks(N_NODES, seed + 3)
+    return a, feats, labels, train
+
+
+def _train(a, feats, labels, mask, cfg, engine, epochs=4, dtype=np.float64, **opts):
+    cluster = VirtualCluster(cfg.total, PERLMUTTER)
+    feats = feats.astype(dtype)
+    model = PlexusGCN(
+        cluster, cfg, a, feats, labels, mask, DIMS,
+        PlexusOptions(seed=0, engine=engine, compute_dtype=dtype, **opts),
+    )
+    result = PlexusTrainer(model).train(epochs)
+    return model, result, cluster
+
+
+class TestEngineParity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        grid_idx=st.integers(0, len(GRIDS) - 1),
+        seed=st.integers(0, 50),
+        perm=st.sampled_from(["none", "single", "double"]),
+    )
+    def test_float64_bitwise(self, grid_idx, seed, perm):
+        """Random grids up to X3Y2Z2: losses, weights and clocks bitwise."""
+        cfg = GRIDS[grid_idx]
+        a, feats, labels, mask = _dataset(seed)
+        mb, rb, cb = _train(a, feats, labels, mask, cfg, "batched", permutation=perm)
+        mp, rp, cp = _train(a, feats, labels, mask, cfg, "perrank", permutation=perm)
+        assert mb.engine == "batched" and mp.engine == "perrank"
+        assert rb.losses == rp.losses
+        for i in range(len(DIMS) - 1):
+            for r in range(cfg.total):
+                assert np.array_equal(mb.layers[i].w_shards[r], mp.layers[i].w_shards[r])
+        assert np.array_equal(cb.clocks, cp.clocks)
+        assert np.array_equal(cb.category_totals("comm:"), cp.category_totals("comm:"))
+        assert np.array_equal(cb.category_totals("comp:"), cp.category_totals("comp:"))
+
+    def test_float32_atol(self):
+        """Benchmark dtype: engines agree to float32 round-off."""
+        a, feats, labels, mask = _dataset(9)
+        _, rb, _ = _train(a, feats, labels, mask, GRIDS[0], "batched", dtype=np.float32)
+        _, rp, _ = _train(a, feats, labels, mask, GRIDS[0], "perrank", dtype=np.float32)
+        np.testing.assert_allclose(rb.losses, rp.losses, atol=1e-5)
+
+    def test_trainable_features_bitwise(self):
+        a, feats, labels, mask = _dataset(3)
+        mb, rb, _ = _train(a, feats, labels, mask, GRIDS[1], "batched", trainable_features=True)
+        mp, rp, _ = _train(a, feats, labels, mask, GRIDS[1], "perrank", trainable_features=True)
+        assert rb.losses == rp.losses
+        for r in range(GRIDS[1].total):
+            assert np.array_equal(mb.f0_shards[r], mp.f0_shards[r])
+
+    def test_untuned_dw_gemm_bitwise(self):
+        a, feats, labels, mask = _dataset(5)
+        _, rb, cb = _train(a, feats, labels, mask, GRIDS[0], "batched", tune_dw_gemm=False)
+        _, rp, cp = _train(a, feats, labels, mask, GRIDS[0], "perrank", tune_dw_gemm=False)
+        assert rb.losses == rp.losses
+        assert np.array_equal(cb.clocks, cp.clocks)
+
+
+class TestEngineSelection:
+    def test_auto_prefers_batched_on_divisible(self):
+        a, feats, labels, mask = _dataset(0)
+        m, _, _ = _train(a, feats, labels, mask, GRIDS[0], "auto", epochs=1)
+        assert m.engine == "batched"
+
+    def test_auto_falls_back_on_indivisible_dims(self):
+        a, feats, labels, mask = _dataset(0)
+        cluster = VirtualCluster(12, PERLMUTTER)
+        model = PlexusGCN(
+            cluster, GRIDS[0], a, feats, labels, mask, [DIMS[0], 13, DIMS[-1]],
+            PlexusOptions(seed=0, engine="auto"),
+        )
+        assert model.engine == "perrank"
+
+    @pytest.mark.parametrize(
+        "opts",
+        [dict(aggregation_blocks=3), dict(noise=SpmmNoise(threshold_nnz=1))],
+    )
+    def test_auto_falls_back_on_perrank_only_features(self, opts):
+        a, feats, labels, mask = _dataset(0)
+        m, _, _ = _train(a, feats, labels, mask, GRIDS[1], "auto", epochs=1, **opts)
+        assert m.engine == "perrank"
+
+    def test_batched_raises_when_ineligible(self):
+        a, feats, labels, mask = _dataset(0)
+        cluster = VirtualCluster(12, PERLMUTTER)
+        with pytest.raises(ValueError, match="batched"):
+            PlexusGCN(
+                cluster, GRIDS[0], a, feats, labels, mask, [DIMS[0], 13, DIMS[-1]],
+                PlexusOptions(seed=0, engine="batched"),
+            )
+
+
+class TestBatchPrimitives:
+    """The building blocks handle quasi-equal (grouped-by-shape) operands."""
+
+    def test_batched_matmul_matches_per_rank(self, rng):
+        a = [rng.standard_normal((3 + (r % 2), 4)) for r in range(6)]
+        b = [rng.standard_normal((4, 2 + (r % 3))) for r in range(6)]
+        out = batched_matmul(a, b)
+        for r in range(6):
+            assert np.array_equal(out[r], a[r] @ b[r])
+
+    def test_block_diag_spmm_grouped(self, rng):
+        shards = [random_sparse(3 + (r % 2), 5, 0.4, rng) for r in range(6)]
+        f = [rng.standard_normal((5, 2)) for r in range(6)]
+        out = BlockDiagSpmm(shards).apply(f)
+        for r in range(6):
+            assert np.array_equal(out[r], np.asarray(shards[r] @ f[r]))
+
+    def test_block_diag_spmm_stacked(self, rng):
+        shards = [random_sparse(4, 5, 0.4, rng) for _ in range(6)]
+        f = rng.standard_normal((6, 5, 3))
+        out = BlockDiagSpmm(shards).apply_stacked(f)
+        assert out.shape == (6, 4, 3)
+        for r in range(6):
+            assert np.array_equal(out[r], np.asarray(shards[r] @ f[r]))
+
+    def test_block_diag_spmm_stacked_rejects_unequal_rows(self, rng):
+        shards = [random_sparse(3 + (r % 2), 5, 0.4, rng) for r in range(4)]
+        f = rng.standard_normal((4, 5, 2))
+        with pytest.raises(ValueError, match="uniform"):
+            BlockDiagSpmm(shards).apply_stacked(f)

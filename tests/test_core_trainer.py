@@ -94,6 +94,70 @@ class TestDistributedAccuracy:
         assert acc == pytest.approx(expected, abs=1e-12)
 
 
+class TestEvaluateNoCharge:
+    """`evaluate` drives the engine but must not pollute the timing record."""
+
+    @pytest.mark.parametrize("cfg", [GridConfig(2, 2, 2), GridConfig(4, 1, 2)])
+    def test_evaluate_leaves_clocks_unchanged(self, tiny_products, cfg):
+        ds = tiny_products
+        model = _model(ds, cfg=cfg)
+        trainer = PlexusTrainer(model)
+        trainer.train(2)
+        cluster = model.cluster
+        t0 = cluster.max_clock()
+        clocks0 = cluster.clocks.copy()
+        comm0 = cluster.category_totals("comm:")
+        comp0 = cluster.category_totals("comp:")
+        trainer.evaluate(ds.val_mask)
+        assert cluster.max_clock() == t0
+        assert np.array_equal(cluster.clocks, clocks0)
+        assert np.array_equal(cluster.category_totals("comm:"), comm0)
+        assert np.array_equal(cluster.category_totals("comp:"), comp0)
+
+    def test_evaluate_between_epochs_does_not_skew_epoch_stats(self, tiny_products):
+        """Interleaving evaluate with training gives the same epoch record
+        as training straight through."""
+        ds = tiny_products
+        interleaved = PlexusTrainer(_model(ds))
+        straight = PlexusTrainer(_model(ds))
+        stats_a = []
+        for _ in range(3):
+            stats_a.append(interleaved.train_epoch())
+            interleaved.evaluate(ds.val_mask)
+        stats_b = [straight.train_epoch() for _ in range(3)]
+        for ea, eb in zip(stats_a, stats_b):
+            assert ea == eb
+
+    def test_evaluate_preserves_noise_rng_stream(self, tiny_products):
+        """With the stochastic SpMM noise model, evaluate must restore the
+        sampler state too — otherwise interleaved runs charge different
+        kernel times than straight-through ones."""
+        from repro.core import SpmmNoise
+
+        ds = tiny_products
+
+        def noisy_model():
+            from repro.core import GridConfig, PlexusGCN, PlexusOptions
+            from repro.dist import PERLMUTTER, VirtualCluster
+
+            cluster = VirtualCluster(8, PERLMUTTER)
+            return PlexusGCN(
+                cluster, GridConfig(2, 2, 2), ds.norm_adjacency, ds.features,
+                ds.labels, ds.train_mask, [ds.n_features, 12, ds.n_classes],
+                PlexusOptions(seed=0, noise=SpmmNoise(threshold_nnz=1, sigma=0.5)),
+            )
+
+        interleaved = PlexusTrainer(noisy_model())
+        straight = PlexusTrainer(noisy_model())
+        stats_a = []
+        for _ in range(3):
+            stats_a.append(interleaved.train_epoch())
+            interleaved.evaluate(ds.val_mask)
+        stats_b = [straight.train_epoch() for _ in range(3)]
+        for ea, eb in zip(stats_a, stats_b):
+            assert ea == eb
+
+
 class TestTrainerPlumbing:
     def test_zero_epochs_rejected(self, tiny_products):
         trainer = PlexusTrainer(_model(tiny_products))

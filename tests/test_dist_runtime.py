@@ -130,6 +130,29 @@ class TestProcessGroup:
         with pytest.raises(KeyError):
             g.index_of(cluster8[0])
 
+    def test_charge_identical_for_slice_and_fancy_member_selectors(self, cluster8):
+        """Arithmetic-progression groups use a strided clock view, arbitrary
+        groups an index vector — straggler accounting must not differ."""
+        arith = _group(cluster8, [0, 2, 4])       # stride 2 -> slice selector
+        ragged = _group(cluster8, [1, 3, 6])      # broken stride -> index vector
+        assert isinstance(arith.member_idx, slice)
+        assert not isinstance(ragged.member_idx, slice)
+        cluster8[2].advance(1.0, "comp:x")
+        cluster8[3].advance(1.0, "comp:x")
+        shard = np.ones((4, 4))
+        all_reduce(arith, [shard] * 3, phase="p")
+        all_reduce(ragged, [shard] * 3, phase="p")
+        # both groups: stragglers lifted to 1.0 plus the same transfer time
+        t = ring_all_reduce_time(shard.nbytes, 3, arith.bandwidth, arith.latency)
+        for r in (0, 4):
+            assert cluster8[r].clock == pytest.approx(1.0 + t)
+            assert cluster8[r].timeline.total("comm:p") == pytest.approx(1.0 + t)
+        for r in (1, 6):
+            assert cluster8[r].clock == pytest.approx(1.0 + t)
+        assert cluster8[2].clock == pytest.approx(1.0 + t)
+        assert cluster8[3].clock == pytest.approx(1.0 + t)
+        assert cluster8[3].timeline.total("comm:p") == pytest.approx(t)
+
     def test_from_cluster_ranks_bandwidth_intra(self):
         c = VirtualCluster(4, PERLMUTTER)
         g = ProcessGroup.from_cluster_ranks([c[0], c[1]], PERLMUTTER)

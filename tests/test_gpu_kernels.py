@@ -16,7 +16,7 @@ from repro.gpu import (
     spmm_time,
 )
 from repro.gpu.gemm import mode_factor
-from repro.gpu.spmm import NNZ_PER_CTA, spmm_flops, spmm_shape_factor
+from repro.gpu.spmm import NNZ_PER_CTA, spmm_flops, spmm_shape_factor, spmm_time_batch
 from repro.graph import dataset_stats
 
 
@@ -41,6 +41,24 @@ class TestSpmmShard:
 
     def test_flops_formula(self):
         assert spmm_flops(SpmmShard(rows=10, k=10, cols=4, nnz=50)) == 2 * 50 * 4
+
+    @given(
+        rows=st.integers(0, 5000),
+        k=st.integers(0, 5000),
+        cols=st.integers(1, 300),
+        nnz=st.integers(0, 200000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_batch_time_matches_scalar_model(self, rows, k, cols, nnz):
+        """spmm_time_batch vectorizes the same cost model spmm_time defines;
+        any recalibration of one must show up in the other (both engines'
+        epoch times come from the batch form)."""
+        from repro.dist.topology import FRONTIER, PERLMUTTER
+
+        for machine in (PERLMUTTER, FRONTIER):
+            scalar = spmm_time(SpmmShard(rows=rows, k=k, cols=float(cols), nnz=nnz), machine.device)
+            batch = float(spmm_time_batch(rows, k, float(cols), nnz, machine.device))
+            assert batch == scalar
 
 
 class TestTable2Reproduction:

@@ -10,6 +10,7 @@ from repro.sparse import (
     add_self_loops,
     block_slices,
     block_nnz_counts,
+    csr_block,
     gcn_normalize,
     nnz_balance_stats,
     partition_2d,
@@ -116,6 +117,45 @@ class TestBlockSlices:
         slices = block_slices(n, parts)
         covered = np.concatenate([np.arange(s.start, s.stop) for s in slices]) if n else np.array([])
         np.testing.assert_array_equal(covered, np.arange(n))
+
+
+class TestCsrBlock:
+    """The single-pass block slicer must match scipy's double slice."""
+
+    @given(
+        n_rows=st.integers(1, 40),
+        n_cols=st.integers(1, 40),
+        density=st.floats(0.0, 0.6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_double_slice(self, n_rows, n_cols, density, seed):
+        rng = np.random.default_rng(seed)
+        a = random_sparse(n_rows, n_cols, density, rng)
+        r0 = int(rng.integers(0, n_rows + 1))
+        r1 = int(rng.integers(r0, n_rows + 1))
+        c0 = int(rng.integers(0, n_cols + 1))
+        c1 = int(rng.integers(c0, n_cols + 1))
+        block = csr_block(a, slice(r0, r1), slice(c0, c1))
+        ref = a[r0:r1, :][:, c0:c1].tocsr()
+        assert block.shape == ref.shape
+        np.testing.assert_array_equal(block.toarray(), ref.toarray())
+
+    def test_empty_block(self, rng):
+        a = random_sparse(10, 10, 0.3, rng)
+        block = csr_block(a, slice(4, 4), slice(2, 8))
+        assert block.shape == (0, 6)
+        assert block.nnz == 0
+
+    def test_preserves_dtype(self, rng):
+        a = random_sparse(8, 8, 0.4, rng, dtype=np.float32)
+        block = csr_block(a, slice(1, 6), slice(2, 7))
+        assert block.dtype == np.float32
+
+    def test_rejects_stepped_slices(self, rng):
+        a = random_sparse(8, 8, 0.4, rng)
+        with pytest.raises(ValueError):
+            csr_block(a, slice(0, 8, 2), slice(0, 8))
 
 
 class TestPartition2D:
