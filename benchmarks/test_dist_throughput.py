@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.core.grid import GridConfig, PlexusGrid, axis_roles, map_collective
 from repro.dist import PERLMUTTER, VirtualCluster
-from repro.dist.collectives import all_gather, all_reduce, reduce_scatter
 
 CONFIG = GridConfig(4, 4, 4)
 N_LAYERS = 3
@@ -55,15 +54,15 @@ def simulate_epoch(grid: PlexusGrid, shards: dict[str, list[np.ndarray]]) -> Non
         roles = axis_roles(i)
         # forward: SpMM stand-in, H all-reduce, W all-gather, Q all-reduce
         cluster.advance_all(1e-4, "comp:spmm_fwd")
-        map_collective(grid, roles.x, shards["h"], all_reduce, phase="all_reduce_h")
-        map_collective(grid, roles.z, shards["w"], all_gather, axis=0, phase="all_gather_w")
+        map_collective(grid, roles.x, shards["h"], "all_reduce", phase="all_reduce_h")
+        map_collective(grid, roles.z, shards["w"], "all_gather", axis=0, phase="all_gather_w")
         cluster.advance_all(5e-5, "comp:gemm_fwd")
-        map_collective(grid, roles.y, shards["q"], all_reduce, phase="all_reduce_q")
+        map_collective(grid, roles.y, shards["q"], "all_reduce", phase="all_reduce_q")
         # backward: dW reduce-scatter, dH all-reduce, dF all-reduce
         cluster.advance_all(5e-5, "comp:gemm_dw")
-        map_collective(grid, roles.z, shards["h"], reduce_scatter, axis=0, phase="reduce_scatter_dw")
-        map_collective(grid, roles.x, shards["h"], all_reduce, phase="all_reduce_dh")
-        map_collective(grid, roles.z, shards["q"], all_reduce, phase="all_reduce_df")
+        map_collective(grid, roles.z, shards["h"], "reduce_scatter", axis=0, phase="reduce_scatter_dw")
+        map_collective(grid, roles.x, shards["h"], "all_reduce", phase="all_reduce_dh")
+        map_collective(grid, roles.z, shards["q"], "all_reduce", phase="all_reduce_df")
     cluster.barrier(phase="comm:epoch_sync")
 
 

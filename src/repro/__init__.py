@@ -65,13 +65,24 @@ def train_plexus(
     hidden: int = 64,
     options: PlexusOptions | None = None,
     seed: int = 0,
+    overlap: bool = False,
 ) -> TrainResult:
     """One-call end-to-end training on a scaled synthetic dataset.
 
     Loads the dataset, picks a 3D configuration with the Sec. 4 performance
     model unless ``config`` is given, builds the model over a virtual
-    cluster, and trains for ``epochs`` full-graph iterations.
+    cluster, and trains for ``epochs`` full-graph iterations.  With
+    ``overlap=True`` collectives run on the nonblocking handle schedule
+    (losses are bitwise unchanged; only the simulated comm/comp breakdown
+    improves) — it composes with an explicit ``options`` object, which
+    controls everything else.
     """
+    from dataclasses import replace
+
+    if options is None:
+        options = PlexusOptions(seed=seed, overlap=overlap)
+    elif overlap and not options.overlap:
+        options = replace(options, overlap=True)
     ds = load_dataset(dataset, scale=scale, seed=seed)
     dims = [ds.n_features, hidden, hidden, ds.n_classes]
     if config is None:
@@ -86,6 +97,6 @@ def train_plexus(
         ds.labels,
         ds.train_mask,
         dims,
-        options or PlexusOptions(seed=seed),
+        options,
     )
     return PlexusTrainer(model).train(epochs)

@@ -35,7 +35,7 @@ from repro.baselines.partitioner import (
 )
 from repro.core.trainer import EpochStats, TrainResult
 from repro.dist.cluster import VirtualCluster
-from repro.dist.collectives import all_reduce, all_to_all
+from repro.dist.comm import communicator
 from repro.dist.group import ProcessGroup
 from repro.gpu.gemm import GemmMode, gemm_time
 from repro.gpu.spmm import SpmmShard, spmm_time
@@ -178,7 +178,7 @@ class PartitionParallelGCN:
                     idx = self.send_idx[p][q][sample[q][p]]
                     row.append(feats[p][idx])
             chunks.append(row)
-        received = all_to_all(self.world, chunks, phase="boundary_exchange")
+        received = communicator(self.world).all_to_all(chunks, phase="boundary_exchange").wait()
         f_cat = []
         for p in range(p_count):
             blocks = [feats[p]]
@@ -235,7 +235,7 @@ class PartitionParallelGCN:
             for p in range(p_count):
                 self._gemm_advance(p, h[p].shape[1], dq[p].shape[1], h[p].shape[0], GemmMode.TN, "comp:gemm_dw")
                 dw_partial.append(h[p].T @ dq[p])
-            dw = all_reduce(self.world, dw_partial, phase="all_reduce_dw")
+            dw = communicator(self.world).all_reduce(dw_partial, phase="all_reduce_dw").wait()
             for p in range(p_count):
                 grads[p][f"W{i}"] = dw[p]
             if i == 0:
@@ -261,7 +261,7 @@ class PartitionParallelGCN:
                     # only sampled boundary rows carry gradient mass
                     chunks[p][q] = block[cache["sample"][i][p][q]]
                     offset += m
-            returned = all_to_all(self.world, chunks, phase="boundary_grad_exchange")
+            returned = communicator(self.world).all_to_all(chunks, phase="boundary_grad_exchange").wait()
             for p in range(p_count):
                 for q in range(p_count):
                     if q == p:
@@ -286,7 +286,7 @@ class PartitionParallelGCN:
             else:
                 nll = 0.0
             packed.append(np.array([nll, m.sum()], dtype=np.float64))
-        totals = all_reduce(self.world, packed, phase="loss_total")
+        totals = communicator(self.world).all_reduce(packed, phase="loss_total").wait()
         total_nll, total_cnt = totals[0]
         if total_cnt == 0:
             raise ValueError("empty train mask")

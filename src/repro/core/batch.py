@@ -19,7 +19,11 @@ its 1.5D/2D/3D algorithms as operations on stacked partitions:
 
 Both engines use these: the batched engine through the single-stack fast
 paths (``apply_stacked``, one uniform bucket), the per-rank reference loop
-through the grouped paths that tolerate quasi-equal shapes.
+through the grouped paths that tolerate quasi-equal shapes.  The stacked
+outputs feed straight into the handle-based communicators
+(``PlexusGrid.comm(axis)``): a ``(world, m, n)`` product is the operand of
+one issued axis collective, whose :class:`~repro.dist.comm.PendingCollective`
+the engine waits where the next kernel consumes the result.
 
 All outputs preserve the input dtype, so the engine's ``compute_dtype``
 (float32 for benchmarks, float64 for validation) flows through untouched.

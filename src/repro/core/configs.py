@@ -62,10 +62,16 @@ class PlexusOptions:
     #: model, layers, collectives and feature synthesis.
     compute_dtype: type | None = None
     #: execution engine: "batched" runs each parallel step as stacked
-    #: whole-grid tensor ops (requires divisible sharding, unblocked
-    #: aggregation, no SpMM noise), "perrank" is the reference per-rank
-    #: loop, "auto" picks batched whenever eligible.
+    #: whole-grid tensor ops (requires divisible sharding and unblocked
+    #: aggregation), "perrank" is the reference per-rank loop, "auto" picks
+    #: batched whenever eligible.
     engine: Literal["auto", "batched", "perrank"] = "auto"
+    #: nonblocking-collective scheduling (Sec. 5.2): issue the per-block
+    #: aggregation all-reduces and keep them in flight behind the next row
+    #: block's SpMM, and prefetch each layer's W all-gather at the end of
+    #: the previous layer.  Losses and weights are bitwise identical either
+    #: way — only the simulated clocks (comm/comp breakdown) change.
+    overlap: bool = False
     #: deprecated alias for ``compute_dtype`` (kept for older call sites)
     dtype: type | None = None
 

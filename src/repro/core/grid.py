@@ -25,8 +25,10 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.dist import collectives as _collectives
 from repro.dist.cluster import VirtualCluster
 from repro.dist.collectives import AxisComm
+from repro.dist.comm import AxisCommunicator, axis_communicator
 from repro.dist.group import ProcessGroup, axis_bandwidth
 
 __all__ = ["Axis", "GridConfig", "AxisRoles", "axis_roles", "PlexusGrid", "map_collective"]
@@ -181,6 +183,7 @@ class PlexusGrid:
             )
             for axis in Axis
         }
+        self._comms: dict[Axis, AxisCommunicator] = {}
 
     # -- rank mapping --------------------------------------------------------
     def coords(self, rank: int) -> tuple[int, int, int]:
@@ -225,6 +228,24 @@ class PlexusGrid:
         """
         return self._axis_comms[axis]
 
+    def comm(self, axis: Axis) -> AxisCommunicator:
+        """The handle-based communicator of a grid axis.
+
+        Its stacked methods (``all_reduce`` & co) run every group along the
+        axis as one cube-reshaped reduction (the batched engine's path); its
+        ``map_*`` methods issue one group-wise collective per process group
+        over a per-rank list (the reference engine's path).  All methods
+        return :class:`~repro.dist.comm.PendingCollective` handles — call
+        ``.wait()`` immediately for the eager schedule, or interleave
+        compute between issue and wait to hide communication.
+        """
+        comm = self._comms.get(axis)
+        if comm is None:
+            comm = self._comms[axis] = axis_communicator(
+                self._axis_comms[axis], self._groups[axis]
+            )
+        return comm
+
     def group_of(self, rank: int, axis: Axis) -> ProcessGroup:
         """The process group containing ``rank`` along ``axis``."""
         return self._group_of[axis][rank]
@@ -234,6 +255,21 @@ class PlexusGrid:
         return self.config.total
 
 
+#: collective names map_collective routes through the communicator API;
+#: the legacy free functions are matched by identity (never by name, so a
+#: user callable that happens to be called ``all_reduce`` is still invoked)
+_MAPPABLE = {
+    "all_reduce": "map_all_reduce",
+    "all_gather": "map_all_gather",
+    "reduce_scatter": "map_reduce_scatter",
+}
+_LEGACY_MAPPABLE = {
+    _collectives.all_reduce: "map_all_reduce",
+    _collectives.all_gather: "map_all_gather",
+    _collectives.reduce_scatter: "map_reduce_scatter",
+}
+
+
 def map_collective(grid: PlexusGrid, along: Axis, per_rank: list, collective, **kwargs) -> list:
     """Apply ``collective`` group-wise along the ``along`` grid axis.
 
@@ -241,9 +277,24 @@ def map_collective(grid: PlexusGrid, along: Axis, per_rank: list, collective, **
     is the driver-side idiom for "all-reduce H across the X-parallel group"
     style steps of Algorithms 1-2.  Extra kwargs (e.g. the concatenation
     ``axis``) pass through to the collective.
+
+    ``collective`` may be a name (``"all_reduce"``, ``"all_gather"``,
+    ``"reduce_scatter"``) or a callable; names — and, matched by identity,
+    the legacy free functions of ``repro.dist.collectives`` — run eagerly
+    through the communicator API
+    (``grid.comm(along).map_<name>(per_rank, ...).wait()``), while any other
+    callable falls back to one call per process group.
     """
     if len(per_rank) != grid.world_size:
         raise ValueError("per_rank must have one entry per rank")
+    if isinstance(collective, str):
+        method = _MAPPABLE.get(collective)
+        if method is None:
+            raise ValueError(f"unknown collective {collective!r} (known: {sorted(_MAPPABLE)})")
+    else:
+        method = _LEGACY_MAPPABLE.get(collective)
+    if method is not None:
+        return getattr(grid.comm(along), method)(per_rank, **kwargs).wait()
     out: list = [None] * grid.world_size
     for group in grid.groups(along):
         shards = [per_rank[m.rank] for m in group.members]

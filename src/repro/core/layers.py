@@ -1,11 +1,23 @@
 """One 3D-parallel GCN layer: Algorithms 1 (forward) and 2 (backward).
 
 The driver executes each step for every rank (real numpy math on real
-shards) and advances the rank clocks with the modeled kernel times, then
-runs the collective steps group-wise.  The layer is written once against
-*logical* roles (x, y, z); :func:`repro.core.grid.axis_roles` maps them to
-physical axes per layer, which is all that Sec. 3.2's "parallelizing all
-layers" requires.
+shards) and advances the rank clocks with the modeled kernel times; the
+collective steps go through the handle-based communicator API
+(``grid.comm(axis)``): each collective is *issued* (a
+:class:`~repro.dist.comm.PendingCollective`) and *waited* where its result
+is consumed.  With ``overlap=False`` every issue is followed immediately by
+its wait — the eager schedule, bitwise identical to the historical
+function-style collectives.  With ``overlap=True`` the layer runs the two
+Sec. 5.2-style schedules: the per-block aggregation all-reduces stay in
+flight while the next row block's SpMM computes (waited together after the
+last block), and each layer's W all-gather is prefetched — issued at the
+end of the previous layer by the model driver — and waited only when the
+combination GEMM needs it.  Only the clocks change: issue-time data
+semantics make losses and weights bitwise independent of the schedule.
+
+The layer is written once against *logical* roles (x, y, z);
+:func:`repro.core.grid.axis_roles` maps them to physical axes per layer,
+which is all that Sec. 3.2's "parallelizing all layers" requires.
 
 Two execution engines share this class (selected by the model):
 
@@ -20,10 +32,10 @@ Two execution engines share this class (selected by the model):
   stacked ``(world, m, n)`` tensor, the three GEMMs of Algorithms 1-2 run
   as single ``np.matmul`` batched calls, the SpMMs as one block-diagonal
   CSR product (:class:`repro.core.batch.BlockDiagSpmm`), and the
-  collectives as cube-reshaped axis reductions
-  (:func:`repro.dist.collectives.axis_all_reduce` and friends).  Requires
-  uniform shard shapes (divisible dimensions); numerics are bitwise
-  identical to the per-rank engine in float64.
+  collectives as cube-reshaped axis reductions (the stacked methods of
+  :class:`~repro.dist.comm.AxisCommunicator`).  Requires uniform shard
+  shapes (divisible dimensions); numerics are bitwise identical to the
+  per-rank engine in float64.
 
 Kernel times are *precomputed* per rank at construction (shard shapes never
 change across epochs), so the hot loop advances all clocks per step with a
@@ -39,7 +51,8 @@ Optimizations hosted here:
   TN mode; the numerical result is identical.
 * **SpMM variability** (Sec. 5.2's motivation): an optional
   :class:`~repro.core.noise.SpmmNoise` inflates large per-call SpMM times
-  stochastically (per-rank engine only).
+  stochastically; its draws are vectorized per rank in rank order, so both
+  engines consume the same RNG stream and stay bitwise comparable.
 
 Sparse products route through the :func:`repro.sparse.ops.spmm` seam (via
 :class:`~repro.core.batch.BlockDiagSpmm` on the batched path), keeping one
@@ -55,17 +68,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.batch import BlockDiagSpmm, batched_matmul
-from repro.core.grid import PlexusGrid, map_collective
+from repro.core.grid import PlexusGrid
 from repro.core.noise import SpmmNoise
 from repro.core.sharding import LayerSharding
-from repro.dist.collectives import (
-    all_gather,
-    all_reduce,
-    axis_all_gather,
-    axis_all_reduce,
-    axis_reduce_scatter,
-    reduce_scatter,
-)
+from repro.dist.comm import PendingCollective, PendingMap
 from repro.gpu.gemm import GemmMode, gemm_time
 from repro.gpu.spmm import spmm_time_batch
 from repro.nn.functional import relu
@@ -110,6 +116,7 @@ class PlexusLayer:
         noise: SpmmNoise | None = None,
         shard_cache: dict[Any, tuple] | None = None,
         engine: str = "perrank",
+        overlap: bool = False,
     ) -> None:
         if aggregation_blocks < 1:
             raise ValueError("aggregation_blocks must be >= 1")
@@ -126,6 +133,7 @@ class PlexusLayer:
         self.tune_dw_gemm = tune_dw_gemm
         self.noise = noise
         self.engine = engine
+        self.overlap = overlap
         self.roles = sharding.roles
         world = grid.world_size
         # -- adjacency shards (possibly shared across layers via shard_cache)
@@ -214,97 +222,148 @@ class PlexusLayer:
 
     def _advance_spmm(self, times: np.ndarray, nnz: list[int] | np.ndarray, phase: str) -> None:
         """Charge one SpMM step on every rank, applying the noise model
-        per rank (in rank order, preserving the sampler's RNG sequence)."""
+        per rank (draws in rank order, preserving the sampler's RNG
+        sequence bitwise for both engines)."""
         if self.noise is not None:
-            mult = np.asarray([self.noise.multiplier(n) for n in nnz])
-            times = times * mult
+            times = times * self.noise.multipliers(nnz)
         self.cluster.advance_all(times, phase)
 
+    # -- W all-gather (issued here, waited where the GEMM consumes it) -----------
+    def issue_w_gather(self) -> PendingCollective | PendingMap:
+        """Issue the Z-axis all-gather of this layer's weight shards.
+
+        With ``overlap=True`` the model driver calls this at the end of the
+        *previous* layer (forward) / the previous backward step, so the
+        gather rides behind that layer's remaining compute; eager mode
+        issues and waits at the point of use.
+        """
+        comm_z = self.grid.comm(self.roles.z)
+        if self.engine == "batched":
+            return comm_z.all_gather(self.w_stack, phase="all_gather_w")
+        return comm_z.map_all_gather(self.w_shards, axis=0, phase="all_gather_w")
+
     # -- forward (Algorithm 1) ---------------------------------------------------
-    def forward(self, f_in) -> tuple[Any, LayerCache]:
+    def forward(self, f_in, w_pending=None) -> tuple[Any, LayerCache]:
         """Aggregation, combination, activation for every rank.
 
         ``f_in`` per rank: the z-sub-shard for the first layer (line 3
         all-gathers it), or the full local F block for later layers.
+        ``w_pending`` is an optional in-flight W all-gather handle (the
+        overlap schedule's prefetch); when absent the layer issues its own.
         """
         if self.engine == "batched":
-            return self._forward_batched(f_in)
-        return self._forward_perrank(f_in)
+            return self._forward_batched(f_in, w_pending)
+        return self._forward_perrank(f_in, w_pending)
 
-    def _forward_perrank(self, f_in: list[np.ndarray]) -> tuple[list[np.ndarray], LayerCache]:
+    def _forward_perrank(
+        self, f_in: list[np.ndarray], w_pending=None
+    ) -> tuple[list[np.ndarray], LayerCache]:
         grid, roles = self.grid, self.roles
         world = grid.world_size
+        comm_x, comm_y, comm_z = (grid.comm(a) for a in (roles.x, roles.y, roles.z))
         # Step 1 (line 3): all-gather F across the Z-parallel group (layer 0 only)
         if self.is_first:
-            f = map_collective(grid, roles.z, f_in, all_gather, axis=0, phase="all_gather_f")
+            f = comm_z.map_all_gather(f_in, axis=0, phase="all_gather_f").wait()
         else:
             f = list(f_in)
+        # overlap: issue this layer's W gather before the aggregation phase
+        # (after the F gather — both ride the Z links) so it hides behind it
+        if self.overlap and w_pending is None:
+            w_pending = self.issue_w_gather()
         # Step 2 (lines 4-5): H = SpMM(A, F); all-reduce across X-parallel group
         if self.aggregation_blocks == 1:
             self._advance_spmm(self._t_spmm_fwd, self._nnz_a, "comp:spmm_fwd")
             h_partial = self._bd_a.apply(f)
-            h = map_collective(grid, roles.x, h_partial, all_reduce, phase="all_reduce_h")
+            h = comm_x.map_all_reduce(h_partial, phase="all_reduce_h").wait()
         else:
             h = self._blocked_aggregation(f)
         # Step 3 (lines 7-9): Q = SGEMM(H, W); all-reduce across Y-parallel group
-        w_local = map_collective(grid, roles.z, self.w_shards, all_gather, axis=0, phase="all_gather_w")
+        if w_pending is None:
+            w_pending = self.issue_w_gather()
+        w_local = w_pending.wait()
         self.cluster.advance_all(self._t_gemm_fwd, "comp:gemm_fwd")
         q_partial = batched_matmul(h, w_local)
-        q = map_collective(grid, roles.y, q_partial, all_reduce, phase="all_reduce_q")
+        q = comm_y.map_all_reduce(q_partial, phase="all_reduce_q").wait()
         # Step 4 (line 11): non-linear activation (identity on the last layer,
         # whose logits feed the softmax cross-entropy)
         f_out = [q[r] if self.is_last else relu(q[r]) for r in range(world)]
         return f_out, LayerCache(f=f, h=h, q=q)
 
-    def _forward_batched(self, f_in: np.ndarray) -> tuple[np.ndarray, LayerCache]:
+    def _forward_batched(self, f_in: np.ndarray, w_pending=None) -> tuple[np.ndarray, LayerCache]:
         grid, roles = self.grid, self.roles
-        comm_x, comm_y, comm_z = (grid.axis_comm(a) for a in (roles.x, roles.y, roles.z))
+        comm_x, comm_y, comm_z = (grid.comm(a) for a in (roles.x, roles.y, roles.z))
         if self.is_first:
-            f = axis_all_gather(comm_z, f_in, phase="all_gather_f")
+            f = comm_z.all_gather(f_in, phase="all_gather_f").wait()
         else:
             f = f_in
+        if self.overlap and w_pending is None:
+            w_pending = self.issue_w_gather()
         self._advance_spmm(self._t_spmm_fwd, self._nnz_a, "comp:spmm_fwd")
         h_partial = self._bd_a.apply_stacked(f)
-        h = axis_all_reduce(comm_x, h_partial, phase="all_reduce_h")
-        w_local = axis_all_gather(comm_z, self.w_stack, phase="all_gather_w")
+        h = comm_x.all_reduce(h_partial, phase="all_reduce_h").wait()
+        if w_pending is None:
+            w_pending = self.issue_w_gather()
+        w_local = w_pending.wait()
         self.cluster.advance_all(self._t_gemm_fwd, "comp:gemm_fwd")
         q_partial = np.matmul(h, w_local)
-        q = axis_all_reduce(comm_y, q_partial, phase="all_reduce_q")
+        q = comm_y.all_reduce(q_partial, phase="all_reduce_q").wait()
         f_out = q if self.is_last else relu(q)
         return f_out, LayerCache(f=f, h=h, q=q)
 
     def _blocked_aggregation(self, f: list[np.ndarray]) -> list[np.ndarray]:
-        """Sec. 5.2: per row-block SpMM + all-reduce, concatenated at the end."""
+        """Sec. 5.2: per row-block SpMM + all-reduce, concatenated at the end.
+
+        Eager mode waits each block's all-reduce before the next block's
+        SpMM.  Overlap mode issues the all-reduce and immediately starts the
+        next block's SpMM — the in-flight reduces serialize on the X links
+        while compute proceeds, and all handles join after the last block,
+        so only the uncovered tail of each reduce is charged as comm.
+        """
         grid, roles = self.grid, self.roles
         world = grid.world_size
+        comm_x = grid.comm(roles.x)
         out_blocks: list[list[np.ndarray]] = [[] for _ in range(world)]
+        pending: list[PendingMap] = []
         for b in range(self.aggregation_blocks):
             blocks = [self._a_blocks[rank][b] for rank in range(world)]
             self._advance_spmm(self._t_spmm_blocks[b], [a.nnz for a in blocks], "comp:spmm_fwd")
             partial = [spmm(blocks[rank], f[rank]) for rank in range(world)]
-            reduced = map_collective(grid, roles.x, partial, all_reduce, phase="all_reduce_h")
+            handle = comm_x.map_all_reduce(partial, phase="all_reduce_h")
+            if self.overlap:
+                pending.append(handle)
+                continue
+            reduced = handle.wait()
+            for rank in range(world):
+                out_blocks[rank].append(reduced[rank])
+        for handle in pending:  # overlap: join in issue order after the last SpMM
+            reduced = handle.wait()
             for rank in range(world):
                 out_blocks[rank].append(reduced[rank])
         return [np.concatenate(blocks, axis=0) for blocks in out_blocks]
 
     # -- backward (Algorithm 2) --------------------------------------------------
-    def backward(self, dq, cache: LayerCache):
+    def backward(self, dq, cache: LayerCache, w_pending=None):
         """Returns ``(dF per rank or None, dW shard gradients per rank)``.
 
         For the first layer ``dF`` is the z-sub-sharded input-feature
         gradient (line 8's reduce-scatter) or ``None`` when features are
         frozen; for other layers it is the full local block, all-reduced
         across the Z-parallel group (the Sec. 3.2 modification).
+        ``w_pending`` is an optional prefetched W all-gather handle.
         """
         if self.engine == "batched":
-            return self._backward_batched(dq, cache)
-        return self._backward_perrank(dq, cache)
+            return self._backward_batched(dq, cache, w_pending)
+        return self._backward_perrank(dq, cache, w_pending)
 
     def _backward_perrank(
-        self, dq: list[np.ndarray], cache: LayerCache
+        self, dq: list[np.ndarray], cache: LayerCache, w_pending=None
     ) -> tuple[list[np.ndarray] | None, list[np.ndarray]]:
         grid, roles = self.grid, self.roles
         world = grid.world_size
+        comm_x, comm_z = grid.comm(roles.x), grid.comm(roles.z)
+        # overlap: re-gather W behind the grad-W GEMM and dW reduce-scatter
+        if self.overlap and w_pending is None:
+            w_pending = self.issue_w_gather()
         # Line 2: dW = SGEMM(H^T, dQ) — TN mode, or the Sec. 5.3 tuned NT form.
         self.cluster.advance_all(self._t_gemm_dw, "comp:gemm_dw")
         if self.tune_dw_gemm:
@@ -312,13 +371,15 @@ class PlexusLayer:
         else:
             dw_partial = batched_matmul([cache.h[r].T for r in range(world)], dq)
         # Line 3: reduce-scatter dW across Z-parallel group (W is z-sub-sharded)
-        dw = map_collective(grid, roles.z, dw_partial, reduce_scatter, axis=0, phase="reduce_scatter_dw")
+        dw = comm_z.map_reduce_scatter(dw_partial, axis=0, phase="reduce_scatter_dw").wait()
         # Line 4: all-gather W across Z-parallel group (freed after forward)
-        w_local = map_collective(grid, roles.z, self.w_shards, all_gather, axis=0, phase="all_gather_w")
+        if w_pending is None:
+            w_pending = self.issue_w_gather()
+        w_local = w_pending.wait()
         # Lines 5-6: dH = SGEMM(dQ, W^T); all-reduce across X-parallel group
         self.cluster.advance_all(self._t_gemm_dh, "comp:gemm_dh")
         dh_partial = batched_matmul(dq, [w.T for w in w_local])
-        dh = map_collective(grid, roles.x, dh_partial, all_reduce, phase="all_reduce_dh")
+        dh = comm_x.map_all_reduce(dh_partial, phase="all_reduce_dh").wait()
         # Lines 7-8: dF = SpMM(A^T, dH); reduce-scatter (layer 0) or
         # all-reduce (later layers) across the Z-parallel group
         if self.is_first and not self.trainable_features:
@@ -326,35 +387,39 @@ class PlexusLayer:
         self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
         df_partial = self._bd_at.apply(dh)
         if self.is_first:
-            df = map_collective(grid, roles.z, df_partial, reduce_scatter, axis=0, phase="reduce_scatter_df")
+            df = comm_z.map_reduce_scatter(df_partial, axis=0, phase="reduce_scatter_df").wait()
         else:
-            df = map_collective(grid, roles.z, df_partial, all_reduce, phase="all_reduce_df")
+            df = comm_z.map_all_reduce(df_partial, phase="all_reduce_df").wait()
         return df, dw
 
     def _backward_batched(
-        self, dq: np.ndarray, cache: LayerCache
+        self, dq: np.ndarray, cache: LayerCache, w_pending=None
     ) -> tuple[np.ndarray | None, np.ndarray]:
         grid, roles = self.grid, self.roles
-        comm_x, comm_z = grid.axis_comm(roles.x), grid.axis_comm(roles.z)
+        comm_x, comm_z = grid.comm(roles.x), grid.comm(roles.z)
         h = cache.h
+        if self.overlap and w_pending is None:
+            w_pending = self.issue_w_gather()
         self.cluster.advance_all(self._t_gemm_dw, "comp:gemm_dw")
         if self.tune_dw_gemm:
             dw_partial = np.matmul(dq.transpose(0, 2, 1), h).transpose(0, 2, 1)
         else:
             dw_partial = np.matmul(h.transpose(0, 2, 1), dq)
-        dw = axis_reduce_scatter(comm_z, dw_partial, phase="reduce_scatter_dw")
-        w_local = axis_all_gather(comm_z, self.w_stack, phase="all_gather_w")
+        dw = comm_z.reduce_scatter(dw_partial, phase="reduce_scatter_dw").wait()
+        if w_pending is None:
+            w_pending = self.issue_w_gather()
+        w_local = w_pending.wait()
         self.cluster.advance_all(self._t_gemm_dh, "comp:gemm_dh")
         dh_partial = np.matmul(dq, w_local.transpose(0, 2, 1))
-        dh = axis_all_reduce(comm_x, dh_partial, phase="all_reduce_dh")
+        dh = comm_x.all_reduce(dh_partial, phase="all_reduce_dh").wait()
         if self.is_first and not self.trainable_features:
             return None, dw
         self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
         df_partial = self._bd_at.apply_stacked(dh)
         if self.is_first:
-            df = axis_reduce_scatter(comm_z, df_partial, phase="reduce_scatter_df")
+            df = comm_z.reduce_scatter(df_partial, phase="reduce_scatter_df").wait()
         else:
-            df = axis_all_reduce(comm_z, df_partial, phase="all_reduce_df")
+            df = comm_z.all_reduce(df_partial, phase="all_reduce_df").wait()
         return df, dw
 
 

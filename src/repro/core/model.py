@@ -11,13 +11,22 @@ is step-for-step comparable with :class:`repro.nn.serial.SerialGCN`
 The model owns the **engine selection**: with ``options.engine="auto"`` it
 runs the rank-batched engine (stacked ``(world, m, n)`` tensors, batched
 GEMMs/SpMMs, cube-reshaped axis collectives, one stacked optimizer)
-whenever every layer's sharding is uniform and no per-rank-only feature
-(blocked aggregation, SpMM noise) is requested, and otherwise falls back to
-the per-rank reference loop.  Both engines produce bitwise-identical
-float64 numerics; ``options.compute_dtype=np.float32`` selects the faster
-benchmark mode.  On the batched engine, per-rank accessors such as
+whenever every layer's sharding is uniform and aggregation is unblocked
+(SpMM noise is fine on either engine — its draws are vectorized per rank in
+rank order), and otherwise falls back to the per-rank reference loop.  Both
+engines produce bitwise-identical float64 numerics;
+``options.compute_dtype=np.float32`` selects the faster benchmark mode.  On
+the batched engine, per-rank accessors such as
 ``f0_shards``/``label_shards``/``w_shards`` remain available as views into
 the stacks.
+
+With ``options.overlap=True`` the model drives the nonblocking collective
+schedules: each layer's W all-gather handle is issued at the end of the
+previous layer (forward) / previous backward step and waited where the
+consuming GEMM runs, and blocked aggregation keeps its per-block
+all-reduces in flight behind the next block's SpMM.  Losses and weights are
+bitwise independent of the schedule; only the simulated clocks (and hence
+the comm/comp breakdown) change.
 """
 
 from __future__ import annotations
@@ -100,12 +109,12 @@ class PlexusGCN:
             for i in range(n_layers)
         ]
         uniform = all(s.is_uniform(self.grid) for s in self.shardings)
-        eligible = uniform and opts.aggregation_blocks == 1 and opts.noise is None
+        eligible = uniform and opts.aggregation_blocks == 1
         if opts.engine == "batched" and not eligible:
             raise ValueError(
-                "engine='batched' requires uniform (divisible) sharding, "
-                "aggregation_blocks=1 and noise=None; use engine='auto' to "
-                "fall back automatically"
+                "engine='batched' requires uniform (divisible) sharding and "
+                "aggregation_blocks=1; use engine='auto' to fall back "
+                "automatically"
             )
         self.engine = "batched" if (opts.engine == "batched" or (opts.engine == "auto" and eligible)) else "perrank"
 
@@ -129,6 +138,7 @@ class PlexusGCN:
                     noise=opts.noise,
                     shard_cache=self._shard_cache,
                     engine=self.engine,
+                    overlap=opts.overlap,
                 )
             )
 
@@ -224,26 +234,39 @@ class PlexusGCN:
 
         Logits are a list of 2D arrays on the per-rank engine, a stacked
         ``(world, rows, classes)`` tensor on the batched engine — both
-        indexable by rank.
+        indexable by rank.  With ``overlap=True`` the next layer's W
+        all-gather is issued as each layer completes (the Sec. 5.2-style
+        prefetch) and waited inside that layer where the GEMM consumes it.
         """
+        overlap = self.options.overlap
         acts = self.f0_stack if self.engine == "batched" else self.f0_shards
         caches: list[LayerCache] = []
-        for layer in self.layers:
-            acts, cache = layer.forward(acts)
+        w_pending = None
+        for i, layer in enumerate(self.layers):
+            acts, cache = layer.forward(acts, w_pending=w_pending)
             caches.append(cache)
+            w_pending = (
+                self.layers[i + 1].issue_w_gather()
+                if overlap and i + 1 < self.n_layers
+                else None
+            )
         return acts, caches
 
     def backward(self, d_logits, caches: list[LayerCache]):
         """Backward through all layers; returns gradients keyed like the
         optimizer parameters: a stacked dict on the batched engine, one dict
-        per rank otherwise."""
+        per rank otherwise.  With ``overlap=True`` each preceding layer's W
+        all-gather is prefetched as the current backward step completes."""
         if self.engine == "batched":
             return self._backward_batched(d_logits, caches)
+        overlap = self.options.overlap
         world = self.grid.world_size
         grads: list[dict[str, np.ndarray]] = [{} for _ in range(world)]
         dq = d_logits
+        w_pending = None
         for i in range(self.n_layers - 1, -1, -1):
-            df, dw = self.layers[i].backward(dq, caches[i])
+            df, dw = self.layers[i].backward(dq, caches[i], w_pending=w_pending)
+            w_pending = self.layers[i - 1].issue_w_gather() if overlap and i > 0 else None
             for r in range(world):
                 grads[r][f"W{i}"] = dw[r]
             if i > 0:
@@ -255,10 +278,13 @@ class PlexusGCN:
         return grads
 
     def _backward_batched(self, d_logits: np.ndarray, caches: list[LayerCache]) -> dict[str, np.ndarray]:
+        overlap = self.options.overlap
         grads: dict[str, np.ndarray] = {}
         dq = d_logits
+        w_pending = None
         for i in range(self.n_layers - 1, -1, -1):
-            df, dw = self.layers[i].backward(dq, caches[i])
+            df, dw = self.layers[i].backward(dq, caches[i], w_pending=w_pending)
+            w_pending = self.layers[i - 1].issue_w_gather() if overlap and i > 0 else None
             grads[f"W{i}"] = dw
             if i > 0:
                 # chain rule through the previous layer's ReLU (Eq. 2.4),

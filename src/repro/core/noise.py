@@ -48,3 +48,21 @@ class SpmmNoise:
             return 1.0
         scale = self.sigma * (1.0 + np.log2(nnz / self.threshold_nnz))
         return 1.0 + abs(float(self._rng.normal(0.0, scale)))
+
+    def multipliers(self, nnz) -> np.ndarray:
+        """Per-rank slowdown vector for one batched kernel step.
+
+        Draws only for the calls above the threshold, in rank order, through
+        a single vectorized ``normal`` call — the generator fills array
+        draws variate-by-variate, so the RNG stream (and hence every
+        multiplier) is bitwise identical to scalar :meth:`multiplier` calls
+        in the same order.  This is what lets noisy runs use the rank-batched
+        engine while staying clock-exact with the per-rank reference.
+        """
+        nnz = np.asarray(nnz, dtype=np.float64)
+        out = np.ones(nnz.shape[0], dtype=np.float64)
+        hot = nnz > self.threshold_nnz
+        if hot.any():
+            scale = self.sigma * (1.0 + np.log2(nnz[hot] / self.threshold_nnz))
+            out[hot] = 1.0 + np.abs(self._rng.normal(0.0, scale))
+        return out

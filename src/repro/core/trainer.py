@@ -19,9 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.grid import PlexusGrid, map_collective
+from repro.core.grid import PlexusGrid
 from repro.core.model import PlexusGCN
-from repro.dist.collectives import all_gather, all_reduce, axis_all_reduce
 
 __all__ = ["EpochStats", "TrainResult", "distributed_masked_ce", "distributed_accuracy", "PlexusTrainer"]
 
@@ -48,18 +47,19 @@ def distributed_masked_ce(
         return _masked_ce_batched(model, logits)
     grid: PlexusGrid = model.grid
     roles = model.shardings[-1].roles
+    comm_x, comm_z = grid.comm(roles.x), grid.comm(roles.z)
     world = grid.world_size
     labels, masks, cslices = model.label_shards, model.mask_shards, model.class_slices
 
     # 1) log-softmax statistics along the class (x-role) axis
-    row_max = map_collective(
-        grid, roles.x, [_row_max(l) for l in logits], all_reduce, op="max", phase="loss_max"
-    )
+    row_max = comm_x.map_all_reduce(
+        [_row_max(l) for l in logits], op="max", phase="loss_max"
+    ).wait()
     sum_exp_local = [
         np.exp(logits[r] - row_max[r][:, None]).sum(axis=1) if logits[r].shape[1] else np.zeros_like(row_max[r])
         for r in range(world)
     ]
-    sum_exp = map_collective(grid, roles.x, sum_exp_local, all_reduce, phase="loss_sumexp")
+    sum_exp = comm_x.map_all_reduce(sum_exp_local, phase="loss_sumexp").wait()
 
     # 2) gather each masked node's own-label logit from the owning class shard
     z_local = []
@@ -70,7 +70,7 @@ def distributed_masked_ce(
         idx = np.nonzero(owned)[0]
         z[idx] = logits[r][idx, labels[r][idx] - c0]
         z_local.append(z)
-    z_label = map_collective(grid, roles.x, z_local, all_reduce, phase="loss_zlabel")
+    z_label = comm_x.map_all_reduce(z_local, phase="loss_zlabel").wait()
 
     # 3) masked sum + count along the row (z-role) axis.  The masked sum is
     # a where-product so the per-row reduction order matches the batched
@@ -79,7 +79,7 @@ def distributed_masked_ce(
     for r in range(world):
         nll = row_max[r] + np.log(sum_exp[r]) - z_label[r]
         packed.append(np.array([np.where(masks[r], nll, 0.0).sum(), masks[r].sum()], dtype=np.float64))
-    totals = map_collective(grid, roles.z, packed, all_reduce, phase="loss_total")
+    totals = comm_z.map_all_reduce(packed, phase="loss_total").wait()
     total_nll, total_cnt = totals[0][0], totals[0][1]
     if total_cnt == 0:
         raise ValueError("empty train mask")
@@ -113,32 +113,32 @@ def _masked_ce_batched(model: PlexusGCN, logits: np.ndarray) -> tuple[float, np.
     """
     grid: PlexusGrid = model.grid
     roles = model.shardings[-1].roles
-    comm_x = grid.axis_comm(roles.x)
-    comm_z = grid.axis_comm(roles.z)
+    comm_x = grid.comm(roles.x)
+    comm_z = grid.comm(roles.z)
     labels, masks = model.label_stack, model.mask_stack
     c = logits.shape[2]
     if c == 0:
         raise ValueError("batched loss requires at least one class column per rank")
 
     # 1) log-softmax statistics along the class (x-role) axis
-    row_max = axis_all_reduce(comm_x, logits.max(axis=2), op="max", phase="loss_max")
-    sum_exp = axis_all_reduce(
-        comm_x, np.exp(logits - row_max[:, :, None]).sum(axis=2), phase="loss_sumexp"
-    )
+    row_max = comm_x.all_reduce(logits.max(axis=2), op="max", phase="loss_max").wait()
+    sum_exp = comm_x.all_reduce(
+        np.exp(logits - row_max[:, :, None]).sum(axis=2), phase="loss_sumexp"
+    ).wait()
 
     # 2) gather each masked node's own-label logit from the owning class shard
     local_idx = labels - model.class_start[:, None]
     owned = masks & (local_idx >= 0) & (local_idx < c)
     gather_idx = np.clip(local_idx, 0, c - 1)[:, :, None]
     z_local = np.where(owned, np.take_along_axis(logits, gather_idx, axis=2)[:, :, 0], 0.0)
-    z_label = axis_all_reduce(comm_x, z_local, phase="loss_zlabel")
+    z_label = comm_x.all_reduce(z_local, phase="loss_zlabel").wait()
 
     # 3) masked sum + count along the row (z-role) axis
     nll = row_max + np.log(sum_exp) - z_label
     packed = np.empty((grid.world_size, 2), dtype=np.float64)
     packed[:, 0] = np.where(masks, nll, 0.0).sum(axis=1)
     packed[:, 1] = masks.sum(axis=1)
-    totals = axis_all_reduce(comm_z, packed, phase="loss_total")
+    totals = comm_z.all_reduce(packed, phase="loss_total").wait()
     total_nll, total_cnt = totals[0, 0], totals[0, 1]
     if total_cnt == 0:
         raise ValueError("empty train mask")
@@ -158,6 +158,7 @@ def distributed_accuracy(model: PlexusGCN, logits: list[np.ndarray], mask_shards
     """Fraction of masked nodes predicted correctly, computed distributed."""
     grid: PlexusGrid = model.grid
     roles = model.shardings[-1].roles
+    comm_x, comm_z = grid.comm(roles.x), grid.comm(roles.z)
     world = grid.world_size
     # gather per-shard (max value, global argmax) along the class axis
     vals, args = [], []
@@ -170,8 +171,8 @@ def distributed_accuracy(model: PlexusGCN, logits: list[np.ndarray], mask_shards
         else:
             vals.append(l.max(axis=1)[None, :])
             args.append((l.argmax(axis=1) + c0)[None, :])
-    g_vals = map_collective(grid, roles.x, vals, all_gather, axis=0, phase="acc_gather")
-    g_args = map_collective(grid, roles.x, args, all_gather, axis=0, phase="acc_gather")
+    g_vals = comm_x.map_all_gather(vals, axis=0, phase="acc_gather").wait()
+    g_args = comm_x.map_all_gather(args, axis=0, phase="acc_gather").wait()
     packed = []
     for r in range(world):
         winner = g_vals[r].argmax(axis=0)
@@ -179,7 +180,7 @@ def distributed_accuracy(model: PlexusGCN, logits: list[np.ndarray], mask_shards
         m = mask_shards[r]
         correct = (pred[m] == model.label_shards[r][m]).sum()
         packed.append(np.array([correct, m.sum()], dtype=np.float64))
-    totals = map_collective(grid, roles.z, packed, all_reduce, phase="acc_total")
+    totals = comm_z.map_all_reduce(packed, phase="acc_total").wait()
     correct, count = totals[0]
     if count == 0:
         raise ValueError("empty mask")
@@ -241,6 +242,9 @@ class PlexusTrainer:
         loss, d_logits = distributed_masked_ce(model, logits)
         grads = model.backward(d_logits, caches)
         model.apply_gradients(grads)
+        # a dropped (never-waited) collective handle means comm cost is
+        # missing from the books — fail loudly before closing the epoch
+        cluster.check_outstanding()
         cluster.barrier(phase="comm:epoch_sync")
         t1 = cluster.max_clock()
         comm = float(np.mean(cluster.category_totals("comm:") - comm0))

@@ -6,11 +6,16 @@ accounting (``cluster``), process groups with the Eq. 4.6 effective
 bandwidth model (``group``), and executable ring collectives that move real
 numpy shards while charging the Eq. 4.5 cost models (``collectives``).
 
-Two collective APIs coexist: the group-wise functions (``all_reduce`` & co,
-one call per process group) and the rank-batched axis collectives
-(``axis_all_reduce`` & co), which execute every group along a grid axis as
-one cube-reshaped reduction over a stacked ``(world, ...)`` operand — the
-execution engine's fast path.
+The collective surface is the handle-based communicator API (``comm``):
+:class:`GroupCommunicator` for one process group and
+:class:`AxisCommunicator` for a whole grid axis (which runs every group
+along the axis as one cube-reshaped reduction over a stacked
+``(world, ...)`` operand — the execution engine's fast path).  Their
+methods return :class:`PendingCollective` handles, charging issue cost
+immediately and completion cost at ``.wait()``, so compute charged between
+issue and wait hides communication on the simulated timeline.  The old
+eager free functions (``all_reduce`` / ``axis_all_reduce`` & co) remain as
+deprecated shims that issue and wait in one call.
 """
 
 from repro.dist.topology import (
@@ -38,8 +43,22 @@ from repro.dist.collectives import (
     ring_all_reduce_time,
     ring_reduce_scatter_time,
 )
+from repro.dist.comm import (
+    AxisCommunicator,
+    GroupCommunicator,
+    PendingCollective,
+    PendingMap,
+    axis_communicator,
+    communicator,
+)
 
 __all__ = [
+    "AxisCommunicator",
+    "GroupCommunicator",
+    "PendingCollective",
+    "PendingMap",
+    "axis_communicator",
+    "communicator",
     "MachineSpec",
     "PERLMUTTER",
     "FRONTIER",

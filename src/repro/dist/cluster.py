@@ -18,11 +18,12 @@ rank on every epoch; those are single dict lookups returning the bucket
 vector, O(1) in the number of recorded events, and memory stays constant no
 matter how many epochs the simulation runs.
 
-Straggler semantics: :meth:`VirtualCluster.barrier` (and every collective in
-``repro.dist.collectives``) first lifts each participant to the group's
-maximum clock, attributing the wait to a communication phase — which is how
-load imbalance "ripples" into communication time exactly as the paper's
-timing protocol observes (Sec. 6.2).
+Straggler semantics: :meth:`VirtualCluster.barrier` (and every collective
+issued through ``repro.dist.comm``) lifts each participant to the group's
+maximum clock — at issue for the scheduling decision, at ``wait()`` for the
+charge — attributing the wait to a communication phase, which is how load
+imbalance "ripples" into communication time exactly as the paper's timing
+protocol observes (Sec. 6.2).
 """
 
 from __future__ import annotations
@@ -73,15 +74,34 @@ class ClockStore:
     every recording touches exactly two accumulators — the hot path runs
     tens of times per simulated epoch.  All mutation funnels through the
     ``record_*`` methods so vectorized and scalar callers stay consistent.
+
+    The store also carries the nonblocking-collective bookkeeping of
+    ``repro.dist.comm``:
+
+    * ``links`` maps each communicator's link key to the simulated time its
+      link is busy until (a scalar for one process group, a cube-shaped
+      keepdims array for a whole grid axis).  Issuing a collective reserves
+      the link from ``max(group ready time, link free time)``, which is what
+      serializes two in-flight operations on the same axis link — they queue
+      behind each other instead of magically overlapping.
+    * ``outstanding`` registers every issued-but-not-yet-waited
+      :class:`~repro.dist.comm.PendingCollective`; ``wait()`` deregisters.
+      The trainer checks it at epoch end so a dropped handle (communication
+      issued but never completed — accounting silently missing) surfaces as
+      an error instead of a skewed breakdown.
     """
 
-    __slots__ = ("world", "clocks", "by_phase", "by_category")
+    __slots__ = ("world", "clocks", "by_phase", "by_category", "links", "outstanding")
 
     def __init__(self, world: int) -> None:
         self.world = world
         self.clocks = np.zeros(world, dtype=np.float64)
         self.by_phase: dict[str, np.ndarray] = {}
         self.by_category: dict[str, np.ndarray] = {}
+        #: link key -> busy-until time (scalar or keepdims cube array)
+        self.links: dict[object, np.ndarray | float] = {}
+        #: id(handle) -> in-flight PendingCollective (issued, not yet waited)
+        self.outstanding: dict[int, object] = {}
 
     # -- bucket access ---------------------------------------------------------
     def phase_bucket(self, phase: str) -> np.ndarray:
@@ -136,26 +156,57 @@ class ClockStore:
                 out += bucket
         return out
 
+    # -- outstanding-op registry (see repro.dist.comm) -------------------------
+    def register_outstanding(self, handle) -> None:
+        self.outstanding[id(handle)] = handle
+
+    def resolve_outstanding(self, handle) -> None:
+        self.outstanding.pop(id(handle), None)
+
+    def check_no_outstanding(self) -> None:
+        """Raise if any issued collective handle was never ``wait()``-ed."""
+        if self.outstanding:
+            phases = ", ".join(sorted({h.phase for h in self.outstanding.values()}))
+            raise RuntimeError(
+                f"{len(self.outstanding)} collective handle(s) issued but never "
+                f"waited: {phases}; every PendingCollective must be wait()-ed "
+                "before the epoch accounting closes"
+            )
+
     # -- lifecycle -------------------------------------------------------------
     def reset(self) -> None:
         self.clocks[:] = 0.0
         self.by_phase.clear()
         self.by_category.clear()
+        self.links.clear()
+        self.outstanding.clear()
 
     def snapshot(self) -> tuple:
         return (
             self.clocks.copy(),
             {k: v.copy() for k, v in self.by_phase.items()},
             {k: v.copy() for k, v in self.by_category.items()},
+            {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in self.links.items()},
+            dict(self.outstanding),
         )
 
     def restore(self, snap: tuple) -> None:
-        clocks, by_phase, by_category = snap
+        clocks, by_phase, by_category, links, outstanding = snap
         self.clocks[:] = clocks
         self.by_phase.clear()
         self.by_phase.update(by_phase)
         self.by_category.clear()
         self.by_category.update(by_category)
+        self.links.clear()
+        self.links.update(links)
+        self.outstanding.clear()
+        # reconcile rather than copy blindly: a handle that was waited
+        # between snapshot and restore (e.g. consumed inside no_charge)
+        # must not be resurrected as outstanding — it can never be waited
+        # again, so re-registering it would wedge check_no_outstanding
+        self.outstanding.update(
+            {k: h for k, h in outstanding.items() if not h.waited}
+        )
 
 
 class Timeline:
@@ -325,12 +376,23 @@ class VirtualCluster:
         """Zero every clock and timeline (between independent runs)."""
         self.store.reset()
 
+    def check_outstanding(self) -> None:
+        """Raise if a collective handle was issued but never ``wait()``-ed.
+
+        The trainer calls this at epoch end: a dropped
+        :class:`~repro.dist.comm.PendingCollective` means communication was
+        issued whose completion cost never reached the timeline, so the
+        epoch's comm/comp breakdown would silently under-report.
+        """
+        self.store.check_no_outstanding()
+
     @contextmanager
     def no_charge(self):
         """Context under which simulated time and phase totals do not change.
 
-        Snapshots the clock/timeline state on entry and restores it on exit,
-        so diagnostic passes (e.g. ``PlexusTrainer.evaluate``) can drive the
+        Snapshots the clock/timeline state on entry and restores it on exit
+        (including link occupancy and the outstanding-handle registry), so
+        diagnostic passes (e.g. ``PlexusTrainer.evaluate``) can drive the
         full engine without polluting the experiment's epoch accounting.
         """
         snap = self.store.snapshot()

@@ -1,23 +1,22 @@
-"""Simulated collectives: real numpy data movement + Eq. 4.5 ring costs.
+"""Eq. 4.5 collective cost models and the deprecated eager collective shims.
 
-Each collective does two things at once:
+This module keeps two things:
 
-1. **Semantics** — the exact data transformation the real collective would
-   perform on the member shards (so the distributed algorithm is
-   numerically step-for-step comparable with the serial reference), and
-2. **Timing** — advances every member's clock by the ring-collective cost
-   of Eq. 4.5, *after* lifting all members to the group's maximum clock
-   with the wait attributed to communication (straggler semantics,
-   Sec. 6.2).
-
-The reductions are vectorized: member shards are stacked once and reduced
-with ``np.add.reduce`` / ``np.maximum.reduce`` along the member axis rather
-than folding shard-by-shard in Python — for a G-member group this is one C
-loop instead of G-1 interpreter round-trips, which dominates the simulator's
-throughput on big grids.  Outputs that are identical on every member
-(all-reduce results, gathered tensors, broadcast payloads) are returned as
-the *same* array object per member; callers treat collective outputs as
-read-only, exactly like NCCL output buffers fed to subsequent kernels.
+1. **Cost models** — the ring-collective timing laws of Eq. 4.5
+   (:func:`ring_all_reduce_time` & co), used by the executable communicators
+   in ``repro.dist.comm`` and evaluated symbolically by the analytic models
+   in ``repro.perf`` / ``repro.core.perf_model``.
+2. **Deprecated eager shims** — the original function-style collectives
+   (``all_reduce`` / ``axis_all_reduce`` / ...).  They now delegate to the
+   handle-based communicator API (:mod:`repro.dist.comm`) and wait
+   immediately, which keeps their numerics — data, clocks and phase totals
+   — bitwise identical to the historical eager behavior, and emit a
+   :class:`DeprecationWarning` **once per function**.  New code should use
+   ``PlexusGrid.comm(axis)`` (an :class:`~repro.dist.comm.AxisCommunicator`)
+   or :func:`repro.dist.comm.communicator` on a process group, whose methods
+   return :class:`~repro.dist.comm.PendingCollective` handles: issue cost is
+   charged immediately, completion cost at ``.wait()``, so compute charged
+   between issue and wait genuinely hides communication.
 
 Cost models (Eq. 4.5, ``m`` = message bytes, ``G`` = group size, ``beta`` =
 effective bandwidth from Eq. 4.6, ``alpha`` = per-hop latency):
@@ -32,6 +31,7 @@ effective bandwidth from Eq. 4.6, ``alpha`` = per-hop latency):
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -39,7 +39,6 @@ import numpy as np
 
 from repro.dist.cluster import ClockStore
 from repro.dist.group import ProcessGroup
-from repro.sparse.partition import block_slices
 
 __all__ = [
     "ring_all_reduce_time",
@@ -133,183 +132,8 @@ def all_to_all_time(
 
 
 # ---------------------------------------------------------------------------
-# execution helpers
+# the batched-axis descriptor (consumed by repro.dist.comm and PlexusGrid)
 # ---------------------------------------------------------------------------
-
-_REDUCERS = {"sum": np.add.reduce, "max": np.maximum.reduce}
-
-
-def _charge(group: ProcessGroup, seconds: float, phase: str) -> None:
-    """Straggler-sync the group, then advance every member by ``seconds``.
-
-    The wait until the slowest member arrives is communication time from the
-    waiting rank's perspective — that attribution is what makes compute
-    imbalance surface as comm time in epoch breakdowns (Sec. 6.2).
-
-    When all members share one ClockStore (the usual case) the sync is a
-    handful of vectorized operations on ``clocks[member_idx]``; otherwise it
-    falls back to per-member scalar advances.
-    """
-    members = group.members
-    if len(members) == 1:
-        if seconds > 0.0:
-            members[0].advance(seconds, phase)
-        return
-    store, idx = group.store, group.member_idx
-    if store is not None:
-        clocks = store.clocks[idx]  # a strided view for grid-axis groups
-        start = clocks.max()
-        waits_plus = (start - clocks) + seconds  # before the aliased write below
-        store.clocks[idx] = start + seconds
-        store.record_idx(idx, phase, waits_plus)
-        return
-    start = max(m.clock for m in members)
-    for m in members:
-        m.advance(start - m.clock + seconds, phase)
-
-
-def _check_shard_count(group: ProcessGroup, shards: Sequence) -> None:
-    if len(shards) != group.size:
-        raise ValueError(
-            f"expected one shard per member ({group.size}), got {len(shards)}"
-        )
-
-
-def _stack_equal_shards(shards: Sequence[np.ndarray]) -> np.ndarray:
-    first = shards[0].shape
-    for s in shards[1:]:
-        if s.shape != first:
-            raise ValueError(f"shard shape mismatch: {s.shape} != {first}")
-    return np.stack(shards)
-
-
-# ---------------------------------------------------------------------------
-# collectives
-# ---------------------------------------------------------------------------
-
-
-def all_reduce(
-    group: ProcessGroup,
-    shards: Sequence[np.ndarray],
-    op: str = "sum",
-    phase: str = "all_reduce",
-) -> list[np.ndarray]:
-    """Element-wise reduction of equal-shape shards; every member receives
-    the full result."""
-    _check_shard_count(group, shards)
-    if op not in _REDUCERS:
-        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
-    g = group.size
-    if g == 1:
-        return [shards[0]]
-    reduced = _REDUCERS[op](_stack_equal_shards(shards), axis=0)
-    t = ring_all_reduce_time(reduced.nbytes, g, group.bandwidth, group.latency)
-    _charge(group, t, "comm:" + phase)
-    return [reduced] * g
-
-
-def all_gather(
-    group: ProcessGroup,
-    shards: Sequence[np.ndarray],
-    axis: int = 0,
-    phase: str = "all_gather",
-) -> list[np.ndarray]:
-    """Concatenate member shards (in member order) along ``axis``; every
-    member receives the full result.  Shard extents along ``axis`` may
-    differ (quasi-equal block sharding)."""
-    _check_shard_count(group, shards)
-    g = group.size
-    if g == 1:
-        return [shards[0]]
-    gathered = np.concatenate(shards, axis=axis)
-    t = ring_all_gather_time(gathered.nbytes, g, group.bandwidth, group.latency)
-    _charge(group, t, "comm:" + phase)
-    return [gathered] * g
-
-
-def reduce_scatter(
-    group: ProcessGroup,
-    shards: Sequence[np.ndarray],
-    axis: int = 0,
-    op: str = "sum",
-    phase: str = "reduce_scatter",
-) -> list[np.ndarray]:
-    """Reduce equal-shape full vectors, then scatter quasi-equal blocks of
-    the result along ``axis``: member ``i`` receives block ``i``."""
-    _check_shard_count(group, shards)
-    if op not in _REDUCERS:
-        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
-    g = group.size
-    if g == 1:
-        return [shards[0]]
-    reduced = _REDUCERS[op](_stack_equal_shards(shards), axis=0)
-    if not -reduced.ndim <= axis < reduced.ndim:
-        raise ValueError(f"axis {axis} out of range for {reduced.ndim}-d shards")
-    if axis < 0:
-        axis += reduced.ndim
-    t = ring_reduce_scatter_time(reduced.nbytes, g, group.bandwidth, group.latency)
-    _charge(group, t, "comm:" + phase)
-    prefix: tuple[slice, ...] = (slice(None),) * axis
-    return [reduced[prefix + (sl,)] for sl in block_slices(reduced.shape[axis], g)]
-
-
-def broadcast(
-    group: ProcessGroup,
-    array: np.ndarray,
-    root: int = 0,
-    phase: str = "broadcast",
-) -> list[np.ndarray]:
-    """Send ``array`` from member index ``root`` to every member."""
-    g = group.size
-    if not 0 <= root < g:
-        raise ValueError(f"root {root} out of range for group of size {g}")
-    if g == 1:
-        return [array]
-    t = broadcast_time(array.nbytes, g, group.bandwidth, group.latency)
-    _charge(group, t, "comm:" + phase)
-    return [array] * g
-
-
-def all_to_all(
-    group: ProcessGroup,
-    chunks: Sequence[Sequence[np.ndarray]],
-    phase: str = "all_to_all",
-) -> list[list[np.ndarray]]:
-    """Personalized exchange: ``chunks[i][j]`` is what member ``i`` sends to
-    member ``j``; the result satisfies ``out[j][i] is chunks[i][j]``."""
-    _check_shard_count(group, chunks)
-    g = group.size
-    for row in chunks:
-        if len(row) != g:
-            raise ValueError(f"each member must provide {g} chunks, got {len(row)}")
-    out = [[chunks[i][j] for i in range(g)] for j in range(g)]
-    if g == 1:
-        return out
-    # the ring is paced by the member with the largest total payload
-    nbytes = max(sum(c.nbytes for c in row) for row in chunks)
-    t = all_to_all_time(nbytes, g, group.bandwidth, group.latency)
-    _charge(group, t, "comm:" + phase)
-    return out
-
-
-# ---------------------------------------------------------------------------
-# rank-batched axis collectives (the execution engine's fast path)
-# ---------------------------------------------------------------------------
-#
-# The group-wise collectives above take one Python call per process group —
-# 16 calls per step on a 64-rank X4Y4Z4 grid.  When every rank's shard has
-# the same shape (divisible sharding), the whole world can instead be kept
-# as ONE stacked array of shape ``(world, *shard_shape)``: under the
-# Y-fastest rank mapping, reshaping the leading axis to the grid cube
-# ``(Gz, Gx, Gy)`` turns "reduce across every X-parallel group" into a
-# single ``np.add.reduce`` over one cube axis, and the straggler sync into a
-# single ``max`` over the same axis of the clock vector.  One vectorized
-# call replaces all groups of the axis.  Member order within a group equals
-# ascending coordinate along the axis — identical to the group-wise path —
-# so results (and clock evolution) match the per-group collectives
-# element for element.  Reductions run in the stacked array's dtype, so the
-# engine's ``compute_dtype`` (float32 benchmarks / float64 validation)
-# carries through unchanged.
 
 
 @dataclass(frozen=True)
@@ -321,6 +145,9 @@ class AxisComm:
     gathered over (Z -> 0, X -> 1, Y -> 2), and ``size`` its extent.  All
     process groups along one grid axis share ``bandwidth`` (Eq. 4.6) and
     ``latency``, which is what makes a single time charge per axis valid.
+    Feed to :func:`repro.dist.comm.axis_communicator` (or use
+    ``PlexusGrid.comm(axis)``, which wraps this descriptor) for the
+    handle-based collective API.
     """
 
     store: ClockStore
@@ -335,92 +162,115 @@ class AxisComm:
         return self.cube[0] * self.cube[1] * self.cube[2]
 
 
-def _axis_charge(comm: AxisComm, seconds: float, phase: str) -> None:
-    """Vectorized `_charge` for every group along the axis at once."""
-    clock_cube = comm.store.clocks.reshape(comm.cube)
-    start = np.maximum.reduce(clock_cube, axis=comm.axis, keepdims=True)
-    waits_plus = (start - clock_cube) + seconds
-    clock_cube[...] = start + seconds
-    comm.store.record_all(phase, waits_plus.ravel())
+# ---------------------------------------------------------------------------
+# deprecated eager shims (issue + wait in one call)
+# ---------------------------------------------------------------------------
+
+#: functions that have already warned this process (one warning per function)
+_DEPRECATED_WARNED: set[str] = set()
 
 
-def _moved(a: np.ndarray, src: int, dst: int) -> np.ndarray:
-    """`np.moveaxis` without its per-call axis normalization overhead."""
-    axes = list(range(a.ndim))
-    axes.insert(dst, axes.pop(src))
-    return a.transpose(axes)
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATED_WARNED:
+        return
+    _DEPRECATED_WARNED.add(name)
+    warnings.warn(
+        f"repro.dist.collectives.{name}() is deprecated; use the handle-based "
+        f"communicator API instead ({replacement} returns a PendingCollective "
+        "— call .wait() for the eager behavior)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _check_stacked(comm: AxisComm, stacked: np.ndarray) -> None:
-    if stacked.shape[0] != comm.world:
-        raise ValueError(
-            f"stacked operand has leading extent {stacked.shape[0]}, expected world={comm.world}"
-        )
+def all_reduce(
+    group: ProcessGroup,
+    shards: Sequence[np.ndarray],
+    op: str = "sum",
+    phase: str = "all_reduce",
+) -> list[np.ndarray]:
+    """Deprecated eager shim for ``communicator(group).all_reduce(...)``."""
+    _warn_deprecated("all_reduce", "repro.dist.comm.communicator(group).all_reduce")
+    from repro.dist.comm import communicator
+
+    return communicator(group).all_reduce(shards, op=op, phase=phase).wait()
+
+
+def all_gather(
+    group: ProcessGroup,
+    shards: Sequence[np.ndarray],
+    axis: int = 0,
+    phase: str = "all_gather",
+) -> list[np.ndarray]:
+    """Deprecated eager shim for ``communicator(group).all_gather(...)``."""
+    _warn_deprecated("all_gather", "repro.dist.comm.communicator(group).all_gather")
+    from repro.dist.comm import communicator
+
+    return communicator(group).all_gather(shards, axis=axis, phase=phase).wait()
+
+
+def reduce_scatter(
+    group: ProcessGroup,
+    shards: Sequence[np.ndarray],
+    axis: int = 0,
+    op: str = "sum",
+    phase: str = "reduce_scatter",
+) -> list[np.ndarray]:
+    """Deprecated eager shim for ``communicator(group).reduce_scatter(...)``."""
+    _warn_deprecated("reduce_scatter", "repro.dist.comm.communicator(group).reduce_scatter")
+    from repro.dist.comm import communicator
+
+    return communicator(group).reduce_scatter(shards, axis=axis, op=op, phase=phase).wait()
+
+
+def broadcast(
+    group: ProcessGroup,
+    array: np.ndarray,
+    root: int = 0,
+    phase: str = "broadcast",
+) -> list[np.ndarray]:
+    """Deprecated eager shim for ``communicator(group).broadcast(...)``."""
+    _warn_deprecated("broadcast", "repro.dist.comm.communicator(group).broadcast")
+    from repro.dist.comm import communicator
+
+    return communicator(group).broadcast(array, root=root, phase=phase).wait()
+
+
+def all_to_all(
+    group: ProcessGroup,
+    chunks: Sequence[Sequence[np.ndarray]],
+    phase: str = "all_to_all",
+) -> list[list[np.ndarray]]:
+    """Deprecated eager shim for ``communicator(group).all_to_all(...)``."""
+    _warn_deprecated("all_to_all", "repro.dist.comm.communicator(group).all_to_all")
+    from repro.dist.comm import communicator
+
+    return communicator(group).all_to_all(chunks, phase=phase).wait()
 
 
 def axis_all_reduce(
     comm: AxisComm, stacked: np.ndarray, op: str = "sum", phase: str = "all_reduce"
 ) -> np.ndarray:
-    """All-reduce ``stacked[(world, *shard)]`` within every axis group at once."""
-    _check_stacked(comm, stacked)
-    if op not in _REDUCERS:
-        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
-    g = comm.size
-    if g == 1:
-        return stacked
-    tail = stacked.shape[1:]
-    cube = stacked.reshape(comm.cube + tail)
-    reduced = _REDUCERS[op](cube, axis=comm.axis)
-    t = ring_all_reduce_time(stacked[0].nbytes, g, comm.bandwidth, comm.latency)
-    _axis_charge(comm, t, "comm:" + phase)
-    out = np.empty(comm.cube + tail, dtype=stacked.dtype)
-    out[...] = reduced[(slice(None),) * comm.axis + (None,)]
-    return out.reshape((comm.world,) + tail)
+    """Deprecated eager shim for ``axis_communicator(comm).all_reduce(...)``."""
+    _warn_deprecated("axis_all_reduce", "repro.dist.comm.axis_communicator(comm).all_reduce")
+    from repro.dist.comm import axis_communicator
+
+    return axis_communicator(comm).all_reduce(stacked, op=op, phase=phase).wait()
 
 
 def axis_all_gather(comm: AxisComm, stacked: np.ndarray, phase: str = "all_gather") -> np.ndarray:
-    """All-gather along the shard row axis: every member of a group receives
-    the group's shards concatenated (in member order) along data axis 0."""
-    _check_stacked(comm, stacked)
-    g = comm.size
-    if g == 1:
-        return stacked
-    m, tail = stacked.shape[1], stacked.shape[2:]
-    cube = stacked.reshape(comm.cube + (m,) + tail)
-    # bring the group axis adjacent to the row axis, fuse, broadcast back
-    moved = _moved(cube, comm.axis, 2)
-    o0, o1 = moved.shape[0], moved.shape[1]
-    gathered = moved.reshape(o0, o1, g * m, *tail)
-    t = ring_all_gather_time(g * stacked[0].nbytes, g, comm.bandwidth, comm.latency)
-    _axis_charge(comm, t, "comm:" + phase)
-    out = np.empty(comm.cube + (g * m,) + tail, dtype=stacked.dtype)
-    _moved(out, comm.axis, 2)[...] = gathered[:, :, None]
-    return out.reshape((comm.world, g * m) + tail)
+    """Deprecated eager shim for ``axis_communicator(comm).all_gather(...)``."""
+    _warn_deprecated("axis_all_gather", "repro.dist.comm.axis_communicator(comm).all_gather")
+    from repro.dist.comm import axis_communicator
+
+    return axis_communicator(comm).all_gather(stacked, phase=phase).wait()
 
 
 def axis_reduce_scatter(
     comm: AxisComm, stacked: np.ndarray, op: str = "sum", phase: str = "reduce_scatter"
 ) -> np.ndarray:
-    """Reduce within every axis group, then scatter equal row blocks of the
-    result along data axis 0: the member at coordinate ``j`` gets block ``j``.
-    Requires the row extent to divide evenly (the engine's fast-path
-    precondition; quasi-equal shapes take the group-wise path instead)."""
-    _check_stacked(comm, stacked)
-    if op not in _REDUCERS:
-        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
-    g = comm.size
-    if g == 1:
-        return stacked
-    m, tail = stacked.shape[1], stacked.shape[2:]
-    if m % g != 0:
-        raise ValueError(f"row extent {m} not divisible by group size {g}")
-    cube = stacked.reshape(comm.cube + (m,) + tail)
-    reduced = _REDUCERS[op](cube, axis=comm.axis)
-    t = ring_reduce_scatter_time(stacked[0].nbytes, g, comm.bandwidth, comm.latency)
-    _axis_charge(comm, t, "comm:" + phase)
-    mb = m // g
-    o0, o1 = reduced.shape[0], reduced.shape[1]
-    blocks = reduced.reshape(o0, o1, g, mb, *tail)
-    out = np.empty(comm.cube + (mb,) + tail, dtype=stacked.dtype)
-    _moved(out, comm.axis, 2)[...] = blocks
-    return out.reshape((comm.world, mb) + tail)
+    """Deprecated eager shim for ``axis_communicator(comm).reduce_scatter(...)``."""
+    _warn_deprecated("axis_reduce_scatter", "repro.dist.comm.axis_communicator(comm).reduce_scatter")
+    from repro.dist.comm import axis_communicator
+
+    return axis_communicator(comm).reduce_scatter(stacked, op=op, phase=phase).wait()

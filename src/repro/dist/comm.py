@@ -1,0 +1,639 @@
+"""Nonblocking communicators: handle-based collectives on the simulated timeline.
+
+This module is the collective surface of the simulator.  Instead of the
+eager free functions of ``repro.dist.collectives`` (which charged the full
+Eq. 4.5 cost the moment they were called), callers obtain a *communicator*
+— :class:`GroupCommunicator` for one process group, :class:`AxisCommunicator`
+for every group along a grid axis (``PlexusGrid.comm(axis)``) — whose
+``all_reduce / all_gather / reduce_scatter / broadcast / all_to_all``
+methods mirror ``torch.distributed``'s ``async_op=True`` contract: they
+return a :class:`PendingCollective` immediately and charge the *completion*
+cost only at :meth:`PendingCollective.wait`.
+
+Timeline semantics of one issued collective:
+
+* **issue** — the operation's data transformation runs right away (the
+  simulator holds every member's shard, so the numerical result is fixed at
+  issue time and is independent of when — or in what order — handles are
+  waited).  The group's *ready time* is the maximum member clock (all
+  members must have launched, which is the straggler-sync point), and the
+  transfer is scheduled on the group's link from
+  ``begin = max(ready, link busy-until)`` to ``end = begin + duration``.
+  The link reservation (``ClockStore.links``) is what serializes two
+  in-flight operations on one axis link: they queue, they do not overlap
+  each other.  An optional ``issue_overhead_s`` (default 0, keeping eager
+  numerics bitwise-unchanged) models the launch cost charged at issue.
+* **wait** — each member is lifted to ``end`` with the lift attributed to
+  the collective's comm phase.  Compute charged to the member's clock
+  between issue and wait therefore genuinely hides communication: a member
+  whose clock already passed ``end`` pays nothing.
+
+Eager behavior is the degenerate schedule ``issue(); wait()`` with nothing
+in between — bitwise identical (clocks *and* phase totals) to the
+pre-handle collectives, which is what the deprecated free-function shims
+in ``repro.dist.collectives`` do.
+
+Misuse is loud: waiting a handle twice raises, and a handle that is never
+waited stays in ``ClockStore.outstanding`` where
+``VirtualCluster.check_outstanding`` (called by the trainer at epoch end)
+reports it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.dist.cluster import ClockStore
+from repro.dist.collectives import (
+    AxisComm,
+    all_to_all_time,
+    broadcast_time,
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    ring_reduce_scatter_time,
+)
+from repro.dist.group import ProcessGroup
+from repro.sparse.partition import block_slices
+
+__all__ = [
+    "PendingCollective",
+    "PendingMap",
+    "GroupCommunicator",
+    "AxisCommunicator",
+    "communicator",
+    "axis_communicator",
+]
+
+_REDUCERS = {"sum": np.add.reduce, "max": np.maximum.reduce}
+
+#: unique link keys into ``ClockStore.links`` (one per communicator)
+_LINK_KEYS = itertools.count()
+
+
+def _check_op(op: str) -> None:
+    if op not in _REDUCERS:
+        raise ValueError(f"unsupported op {op!r} (supported: {sorted(_REDUCERS)})")
+
+
+def _check_shard_count(group: ProcessGroup, shards: Sequence) -> None:
+    if len(shards) != group.size:
+        raise ValueError(
+            f"expected one shard per member ({group.size}), got {len(shards)}"
+        )
+
+
+def _stack_equal_shards(shards: Sequence[np.ndarray]) -> np.ndarray:
+    first = shards[0].shape
+    for s in shards[1:]:
+        if s.shape != first:
+            raise ValueError(f"shard shape mismatch: {s.shape} != {first}")
+    return np.stack(shards)
+
+
+def _moved(a: np.ndarray, src: int, dst: int) -> np.ndarray:
+    """`np.moveaxis` without its per-call axis normalization overhead."""
+    axes = list(range(a.ndim))
+    axes.insert(dst, axes.pop(src))
+    return a.transpose(axes)
+
+
+# ---------------------------------------------------------------------------
+# completion handles
+# ---------------------------------------------------------------------------
+
+
+class PendingCollective:
+    """An issued collective: result fixed, completion cost not yet charged.
+
+    ``wait()`` lifts every member clock to the operation's scheduled end
+    time, attributing the visible portion (link wait + transfer − compute
+    already overlapped) to the collective's comm phase, and returns the
+    result.  Waiting twice raises; a handle that is never waited is
+    reported by ``VirtualCluster.check_outstanding`` at epoch end.
+
+    The handle carries one charge record (``None`` for the free singleton
+    case), of one of three kinds:
+
+    * ``("idx", idx, begin, end, duration)`` — members are ``clocks[idx]``
+      of the shared store (the vectorized fast path),
+    * ``("cube", cube_shape, begin, end, duration)`` — every axis group at
+      once; ``begin``/``end`` are keepdims arrays over the off-axis cube,
+    * ``("members", members, begin, end, duration)`` — scalar fallback for
+      duck-typed ranks that share no :class:`ClockStore`.
+    """
+
+    __slots__ = ("phase", "_store", "_record", "_result", "_waited")
+
+    def __init__(
+        self,
+        phase: str,
+        result,
+        store: ClockStore | None = None,
+        record: tuple | None = None,
+    ) -> None:
+        self.phase = phase
+        self._store = store
+        self._record = record
+        self._result = result
+        self._waited = False
+        if store is not None and record is not None:
+            store.register_outstanding(self)
+
+    @property
+    def waited(self) -> bool:
+        return self._waited
+
+    def wait(self):
+        """Charge the completion cost and return the collective's result."""
+        if self._waited:
+            raise RuntimeError(
+                f"collective handle {self.phase!r} waited twice; a "
+                "PendingCollective completes exactly once"
+            )
+        self._waited = True
+        if self._record is not None:
+            self._complete(self._record)
+            if self._store is not None:
+                self._store.resolve_outstanding(self)
+        result, self._result = self._result, None
+        return result
+
+    def _complete(self, record: tuple) -> None:
+        kind = record[0]
+        phase = self.phase
+        if kind == "idx":
+            _, idx, begin, end, duration = record
+            store = self._store
+            c = store.clocks[idx]
+            # ``(begin - c) + duration`` is the exact association the eager
+            # collectives used, so issue-then-wait with nothing in between
+            # reproduces their clocks and phase totals bitwise; past the
+            # comm start only the uncovered tail ``end - c`` is visible.
+            if c.max() <= begin:  # no member advanced past the comm start
+                charge = (begin - c) + duration
+                store.clocks[idx] = end
+            else:
+                charge = np.where(
+                    c <= begin, (begin - c) + duration, np.maximum(end - c, 0.0)
+                )
+                store.clocks[idx] = np.maximum(c, end)
+            store.record_idx(idx, phase, charge)
+        elif kind == "cube":
+            _, cube_shape, begin, end, duration = record
+            store = self._store
+            cube = store.clocks.reshape(cube_shape)
+            charge = np.where(
+                cube <= begin, (begin - cube) + duration, np.maximum(end - cube, 0.0)
+            )
+            lifted = np.maximum(cube, end)
+            cube[...] = lifted
+            store.record_all(phase, charge.ravel())
+        else:  # "members": scalar fallback, one advance per duck-typed rank
+            _, members, begin, end, duration = record
+            for m in members:
+                c = m.clock
+                if c <= begin:
+                    m.advance((begin - c) + duration, phase)
+                else:
+                    m.advance(max(end - c, 0.0), phase)
+
+
+class PendingMap:
+    """One logical collective issued across every group of a grid axis.
+
+    Wraps one :class:`PendingCollective` per process group (disjoint rank
+    sets, so completion order between groups is immaterial); ``wait()``
+    completes them in issue order and assembles the per-rank result list.
+    Dropped-handle detection rides on the per-group handles, which stay
+    registered until this aggregate is waited.
+    """
+
+    __slots__ = ("phase", "_parts", "_world", "_waited")
+
+    def __init__(self, phase: str, parts: Sequence[tuple], world: int) -> None:
+        self.phase = phase
+        self._parts = list(parts)  # (PendingCollective, member rank ids)
+        self._world = world
+        self._waited = False
+
+    @property
+    def waited(self) -> bool:
+        return self._waited
+
+    def wait(self) -> list:
+        if self._waited:
+            raise RuntimeError(
+                f"collective handle {self.phase!r} waited twice; a "
+                "PendingMap completes exactly once"
+            )
+        self._waited = True
+        out: list = [None] * self._world
+        for handle, ranks in self._parts:
+            results = handle.wait()
+            for pos, rank in enumerate(ranks):
+                out[rank] = results[pos]
+        return out
+
+
+def _ready(phase: str, result) -> PendingCollective:
+    """A no-cost handle (singleton groups): wait() just returns the data."""
+    return PendingCollective(phase, result)
+
+
+# ---------------------------------------------------------------------------
+# communicators
+# ---------------------------------------------------------------------------
+
+
+class GroupCommunicator:
+    """Handle-based collectives over one :class:`ProcessGroup`.
+
+    Obtain via :func:`communicator` (cached on the group) so repeated
+    collectives share one link reservation — in-flight operations on the
+    same group serialize instead of overlapping each other.
+
+    ``issue_overhead_s`` models a per-collective launch cost charged to
+    every member at issue time.  It defaults to 0 (keeping eager numerics
+    bitwise identical to the historical collectives); to enable it, set the
+    attribute on the *cached* communicator —
+    ``communicator(group).issue_overhead_s = 2e-6`` — so every collective
+    on the group shares both the overhead and the link reservation.
+    """
+
+    __slots__ = ("group", "issue_overhead_s", "_link_key", "_ranks")
+
+    def __init__(self, group: ProcessGroup, issue_overhead_s: float = 0.0) -> None:
+        self.group = group
+        self.issue_overhead_s = float(issue_overhead_s)
+        self._link_key = next(_LINK_KEYS)
+        self._ranks = [m.rank for m in group.members]  # shard order, cached
+
+    # -- issue machinery -----------------------------------------------------
+    def _issue(self, duration: float, phase: str, result) -> PendingCollective:
+        group = self.group
+        full_phase = "comm:" + phase
+        store, idx = group.store, group.member_idx
+        if store is not None:
+            clocks = store.clocks[idx]
+            if self.issue_overhead_s:
+                store.clocks[idx] = clocks + self.issue_overhead_s
+                store.record_idx(idx, full_phase, self.issue_overhead_s)
+                clocks = store.clocks[idx]
+            ready = clocks.max()
+            link = store.links.get(self._link_key)
+            begin = ready if (link is None or link <= ready) else link
+            end = begin + duration
+            store.links[self._link_key] = end
+            record = ("idx", idx, begin, end, duration)
+            return PendingCollective(full_phase, result, store, record)
+        # Storeless fallback (duck-typed members sharing no ClockStore):
+        # scheduling is eager-equivalent — no link state persists (there is
+        # no store to reset/snapshot it with), so in-flight ops on such a
+        # group do not serialize, and the handle is not registered for
+        # dropped-handle detection.  Store-backed groups (every grid group)
+        # get both guarantees.
+        members = group.members
+        if self.issue_overhead_s:
+            for m in members:
+                m.advance(self.issue_overhead_s, full_phase)
+        begin = max(m.clock for m in members)
+        end = begin + duration
+        record = ("members", members, begin, end, duration)
+        return PendingCollective(full_phase, result, None, record)
+
+    # -- collectives ---------------------------------------------------------
+    def all_reduce(
+        self, shards: Sequence[np.ndarray], op: str = "sum", phase: str = "all_reduce"
+    ) -> PendingCollective:
+        """Element-wise reduction of equal-shape shards; every member
+        receives the full result."""
+        group = self.group
+        _check_shard_count(group, shards)
+        _check_op(op)
+        g = group.size
+        if g == 1:
+            return _ready("comm:" + phase, [shards[0]])
+        reduced = _REDUCERS[op](_stack_equal_shards(shards), axis=0)
+        t = ring_all_reduce_time(reduced.nbytes, g, group.bandwidth, group.latency)
+        return self._issue(t, phase, [reduced] * g)
+
+    def all_gather(
+        self, shards: Sequence[np.ndarray], axis: int = 0, phase: str = "all_gather"
+    ) -> PendingCollective:
+        """Concatenate member shards (in member order) along ``axis``; every
+        member receives the full result.  Shard extents along ``axis`` may
+        differ (quasi-equal block sharding)."""
+        group = self.group
+        _check_shard_count(group, shards)
+        g = group.size
+        if g == 1:
+            return _ready("comm:" + phase, [shards[0]])
+        gathered = np.concatenate(shards, axis=axis)
+        t = ring_all_gather_time(gathered.nbytes, g, group.bandwidth, group.latency)
+        return self._issue(t, phase, [gathered] * g)
+
+    def reduce_scatter(
+        self,
+        shards: Sequence[np.ndarray],
+        axis: int = 0,
+        op: str = "sum",
+        phase: str = "reduce_scatter",
+    ) -> PendingCollective:
+        """Reduce equal-shape full vectors, then scatter quasi-equal blocks
+        of the result along ``axis``: member ``i`` receives block ``i``."""
+        group = self.group
+        _check_shard_count(group, shards)
+        _check_op(op)
+        g = group.size
+        if g == 1:
+            return _ready("comm:" + phase, [shards[0]])
+        reduced = _REDUCERS[op](_stack_equal_shards(shards), axis=0)
+        if not -reduced.ndim <= axis < reduced.ndim:
+            raise ValueError(f"axis {axis} out of range for {reduced.ndim}-d shards")
+        if axis < 0:
+            axis += reduced.ndim
+        t = ring_reduce_scatter_time(reduced.nbytes, g, group.bandwidth, group.latency)
+        prefix: tuple[slice, ...] = (slice(None),) * axis
+        result = [reduced[prefix + (sl,)] for sl in block_slices(reduced.shape[axis], g)]
+        return self._issue(t, phase, result)
+
+    def broadcast(
+        self, array: np.ndarray, root: int = 0, phase: str = "broadcast"
+    ) -> PendingCollective:
+        """Send ``array`` from member index ``root`` to every member."""
+        group = self.group
+        g = group.size
+        if not 0 <= root < g:
+            raise ValueError(f"root {root} out of range for group of size {g}")
+        if g == 1:
+            return _ready("comm:" + phase, [array])
+        t = broadcast_time(array.nbytes, g, group.bandwidth, group.latency)
+        return self._issue(t, phase, [array] * g)
+
+    def all_to_all(
+        self, chunks: Sequence[Sequence[np.ndarray]], phase: str = "all_to_all"
+    ) -> PendingCollective:
+        """Personalized exchange: ``chunks[i][j]`` is what member ``i`` sends
+        to member ``j``; the result satisfies ``out[j][i] is chunks[i][j]``."""
+        group = self.group
+        _check_shard_count(group, chunks)
+        g = group.size
+        for row in chunks:
+            if len(row) != g:
+                raise ValueError(f"each member must provide {g} chunks, got {len(row)}")
+        out = [[chunks[i][j] for i in range(g)] for j in range(g)]
+        if g == 1:
+            return _ready("comm:" + phase, out)
+        # the ring is paced by the member with the largest total payload
+        nbytes = max(sum(c.nbytes for c in row) for row in chunks)
+        t = all_to_all_time(nbytes, g, group.bandwidth, group.latency)
+        return self._issue(t, phase, out)
+
+
+class AxisCommunicator:
+    """Handle-based collectives over every process group along one grid axis.
+
+    The stacked methods (``all_reduce`` & co on a ``(world, *shard)``
+    operand) execute all groups of the axis as one cube-reshaped reduction —
+    the rank-batched engine's fast path; the ``map_*`` methods issue one
+    group-wise collective per process group over a per-rank list — the
+    reference engine's path — and return a :class:`PendingMap`.  Both share
+    one per-group link reservation, so in-flight operations on one axis
+    queue behind each other.  Obtain via ``PlexusGrid.comm(axis)`` (or
+    :func:`axis_communicator` from a raw :class:`AxisComm` descriptor);
+    like :class:`GroupCommunicator`, a launch cost can be enabled by
+    setting ``issue_overhead_s`` on the cached instance (default 0 keeps
+    eager numerics bitwise unchanged).
+    """
+
+    __slots__ = ("descriptor", "group_comms", "issue_overhead_s", "_link_key", "_group_link_keys")
+
+    def __init__(
+        self,
+        descriptor: AxisComm,
+        groups: Sequence[ProcessGroup] | None = None,
+        issue_overhead_s: float = 0.0,
+    ) -> None:
+        self.descriptor = descriptor
+        self.group_comms: list[GroupCommunicator] = []
+        self.issue_overhead_s = float(issue_overhead_s)
+        self._link_key = next(_LINK_KEYS)
+        #: per-group link keys in keepdims-ravel order; once groups are
+        #: attached, the stacked path reads/writes THESE (the same entries
+        #: the map_* path uses), so stacked and group-wise operations on
+        #: one axis serialize against each other
+        self._group_link_keys: list[int] | None = None
+        if groups:
+            self.attach_groups(groups)
+
+    @property
+    def store(self) -> ClockStore:
+        return self.descriptor.store
+
+    @property
+    def size(self) -> int:
+        return self.descriptor.size
+
+    @property
+    def world(self) -> int:
+        return self.descriptor.world
+
+    def attach_groups(self, groups: Sequence[ProcessGroup]) -> None:
+        """Late-bind the axis's process groups (enables the ``map_*`` path
+        and unifies stacked/group-wise link occupancy)."""
+        if self.group_comms:
+            return
+        self.group_comms = [communicator(g) for g in groups]
+        # position of each group's slot in the keepdims link cube: unfold a
+        # member rank into (z, x, y), zero the reduced axis, ravel the rest
+        d = self.descriptor
+        gz, gx, gy = d.cube
+        keep = list(d.cube)
+        keep[d.axis] = 1
+        ordered: list[tuple[int, int]] = []
+        for gc in self.group_comms:
+            r0 = gc.group.members[0].rank
+            coords = [r0 // (gx * gy), (r0 // gy) % gx, r0 % gy]
+            coords[d.axis] = 0
+            pos = (coords[0] * keep[1] + coords[1]) * keep[2] + coords[2]
+            ordered.append((pos, gc._link_key))
+        ordered.sort()
+        if [p for p, _ in ordered] != list(range(len(ordered))):
+            raise ValueError("groups do not tile the axis's off-axis cube")
+        self._group_link_keys = [k for _, k in ordered]
+
+    # -- issue machinery -----------------------------------------------------
+    def _issue(self, duration: float, phase: str, result) -> PendingCollective:
+        d = self.descriptor
+        store = d.store
+        links = store.links
+        full_phase = "comm:" + phase
+        cube = store.clocks.reshape(d.cube)
+        if self.issue_overhead_s:
+            cube += self.issue_overhead_s
+            store.record_all(full_phase, self.issue_overhead_s)
+        ready = np.maximum.reduce(cube, axis=d.axis, keepdims=True)
+        keys = self._group_link_keys
+        if keys is not None:
+            # the same per-group entries the map_* path reserves, so the
+            # two paths serialize on one axis's physical links
+            link = np.asarray([links.get(k, 0.0) for k in keys]).reshape(ready.shape)
+            begin = np.maximum(ready, link)
+            end = begin + duration
+            for k, v in zip(keys, end.ravel()):
+                links[k] = float(v)
+        else:  # detached descriptor (no groups known): axis-level reservation
+            link = links.get(self._link_key)
+            begin = ready if link is None else np.maximum(ready, link)
+            end = begin + duration
+            links[self._link_key] = end
+        record = ("cube", d.cube, begin, end, duration)
+        return PendingCollective(full_phase, result, store, record)
+
+    def _check_stacked(self, stacked: np.ndarray) -> None:
+        if stacked.shape[0] != self.descriptor.world:
+            raise ValueError(
+                f"stacked operand has leading extent {stacked.shape[0]}, "
+                f"expected world={self.descriptor.world}"
+            )
+
+    # -- stacked collectives (rank-batched fast path) ------------------------
+    def all_reduce(
+        self, stacked: np.ndarray, op: str = "sum", phase: str = "all_reduce"
+    ) -> PendingCollective:
+        """All-reduce ``stacked[(world, *shard)]`` within every axis group."""
+        self._check_stacked(stacked)
+        _check_op(op)
+        d = self.descriptor
+        g = d.size
+        if g == 1:
+            return _ready("comm:" + phase, stacked)
+        tail = stacked.shape[1:]
+        cube = stacked.reshape(d.cube + tail)
+        reduced = _REDUCERS[op](cube, axis=d.axis)
+        out = np.empty(d.cube + tail, dtype=stacked.dtype)
+        out[...] = reduced[(slice(None),) * d.axis + (None,)]
+        result = out.reshape((d.world,) + tail)
+        t = ring_all_reduce_time(stacked[0].nbytes, g, d.bandwidth, d.latency)
+        return self._issue(t, phase, result)
+
+    def all_gather(self, stacked: np.ndarray, phase: str = "all_gather") -> PendingCollective:
+        """All-gather along the shard row axis: every member of a group
+        receives the group's shards concatenated (in member order) along
+        data axis 0."""
+        self._check_stacked(stacked)
+        d = self.descriptor
+        g = d.size
+        if g == 1:
+            return _ready("comm:" + phase, stacked)
+        m, tail = stacked.shape[1], stacked.shape[2:]
+        cube = stacked.reshape(d.cube + (m,) + tail)
+        # bring the group axis adjacent to the row axis, fuse, broadcast back
+        moved = _moved(cube, d.axis, 2)
+        o0, o1 = moved.shape[0], moved.shape[1]
+        gathered = moved.reshape(o0, o1, g * m, *tail)
+        out = np.empty(d.cube + (g * m,) + tail, dtype=stacked.dtype)
+        _moved(out, d.axis, 2)[...] = gathered[:, :, None]
+        result = out.reshape((d.world, g * m) + tail)
+        t = ring_all_gather_time(g * stacked[0].nbytes, g, d.bandwidth, d.latency)
+        return self._issue(t, phase, result)
+
+    def reduce_scatter(
+        self, stacked: np.ndarray, op: str = "sum", phase: str = "reduce_scatter"
+    ) -> PendingCollective:
+        """Reduce within every axis group, then scatter equal row blocks of
+        the result along data axis 0: the member at coordinate ``j`` gets
+        block ``j``.  Requires the row extent to divide evenly (the engine's
+        fast-path precondition; quasi-equal shapes take the ``map_*`` path)."""
+        self._check_stacked(stacked)
+        _check_op(op)
+        d = self.descriptor
+        g = d.size
+        if g == 1:
+            return _ready("comm:" + phase, stacked)
+        m, tail = stacked.shape[1], stacked.shape[2:]
+        if m % g != 0:
+            raise ValueError(f"row extent {m} not divisible by group size {g}")
+        cube = stacked.reshape(d.cube + (m,) + tail)
+        reduced = _REDUCERS[op](cube, axis=d.axis)
+        mb = m // g
+        o0, o1 = reduced.shape[0], reduced.shape[1]
+        blocks = reduced.reshape(o0, o1, g, mb, *tail)
+        out = np.empty(d.cube + (mb,) + tail, dtype=stacked.dtype)
+        _moved(out, d.axis, 2)[...] = blocks
+        result = out.reshape((d.world, mb) + tail)
+        t = ring_reduce_scatter_time(stacked[0].nbytes, g, d.bandwidth, d.latency)
+        return self._issue(t, phase, result)
+
+    # -- group-wise collectives over per-rank lists --------------------------
+    def _map(self, method: str, per_rank: Sequence, phase: str, **kwargs) -> PendingMap:
+        if not self.group_comms:
+            raise ValueError(
+                "this AxisCommunicator has no process groups attached; "
+                "obtain it via PlexusGrid.comm(axis) for the map_* path"
+            )
+        if len(per_rank) != self.descriptor.world:
+            raise ValueError("per_rank must have one entry per rank")
+        parts = []
+        for gc in self.group_comms:
+            ranks = gc._ranks
+            shards = [per_rank[r] for r in ranks]
+            parts.append((getattr(gc, method)(shards, phase=phase, **kwargs), ranks))
+        return PendingMap("comm:" + phase, parts, len(per_rank))
+
+    def map_all_reduce(
+        self, per_rank: Sequence, op: str = "sum", phase: str = "all_reduce"
+    ) -> PendingMap:
+        """Per-group all-reduce over a rank-indexed shard list."""
+        return self._map("all_reduce", per_rank, phase, op=op)
+
+    def map_all_gather(
+        self, per_rank: Sequence, axis: int = 0, phase: str = "all_gather"
+    ) -> PendingMap:
+        """Per-group all-gather over a rank-indexed shard list."""
+        return self._map("all_gather", per_rank, phase, axis=axis)
+
+    def map_reduce_scatter(
+        self, per_rank: Sequence, axis: int = 0, op: str = "sum", phase: str = "reduce_scatter"
+    ) -> PendingMap:
+        """Per-group reduce-scatter over a rank-indexed shard list."""
+        return self._map("reduce_scatter", per_rank, phase, axis=axis, op=op)
+
+
+# ---------------------------------------------------------------------------
+# caches
+# ---------------------------------------------------------------------------
+
+
+def communicator(group: ProcessGroup) -> GroupCommunicator:
+    """The (cached) communicator of a process group.
+
+    One communicator per group keeps the link reservation shared across
+    every collective issued on it.
+    """
+    comm = group._comm
+    if comm is None:
+        comm = group._comm = GroupCommunicator(group)
+    return comm
+
+
+#: AxisComm descriptor -> communicator; two PlexusGrids over the same
+#: cluster and configuration share link state (their descriptors compare
+#: equal), and entries die with the grids that hold the descriptors.
+_AXIS_COMMS: "WeakKeyDictionary[AxisComm, AxisCommunicator]" = WeakKeyDictionary()
+
+
+def axis_communicator(
+    descriptor: AxisComm, groups: Sequence[ProcessGroup] | None = None
+) -> AxisCommunicator:
+    """The (cached) communicator of a whole grid axis."""
+    comm = _AXIS_COMMS.get(descriptor)
+    if comm is None:
+        comm = _AXIS_COMMS[descriptor] = AxisCommunicator(descriptor)
+    if groups is not None:
+        comm.attach_groups(groups)
+    return comm

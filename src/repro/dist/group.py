@@ -63,7 +63,7 @@ def axis_bandwidth(machine: MachineSpec, size: int, inner: int) -> float:
 class ProcessGroup:
     """An ordered set of ranks plus the link model their collectives use."""
 
-    __slots__ = ("members", "machine", "bandwidth", "latency", "name", "_index", "store", "member_idx")
+    __slots__ = ("members", "machine", "bandwidth", "latency", "name", "_index", "store", "member_idx", "_comm")
 
     def __init__(
         self,
@@ -108,6 +108,8 @@ class ProcessGroup:
         else:  # heterogeneous members: collectives fall back to the scalar path
             self.store = None
             self.member_idx = None
+        # lazily-built GroupCommunicator (see repro.dist.comm.communicator)
+        self._comm = None
 
     @classmethod
     def from_cluster_ranks(

@@ -82,6 +82,12 @@ class PlexusAnalytic:
     aggregation_blocks: int = 1
     tune_dw_gemm: bool = True
     trainable_features: bool = True
+    #: nonblocking-collective scheduling: prefetched W all-gathers hide
+    #: behind the layer's aggregation SpMM (forward) and grad-W GEMM
+    #: (backward), mirroring the executable engine's ``overlap=True``
+    #: schedules.  (Per-block aggregation pipelining is already part of the
+    #: Sec. 5.2 blocked model via ``blocked_comm_visible_frac``.)
+    overlap: bool = False
     calibration: PlexusCalibration = field(default_factory=PlexusCalibration)
 
     def _beta(self, config: GridConfig, axis) -> float:
@@ -98,7 +104,7 @@ class PlexusAnalytic:
         n_layers = len(self.layer_dims) - 1
         imb = self._imbalance()
         comm = comp = 0.0
-        detail: dict[str, float] = {"spmm": 0.0, "gemm": 0.0, "gemm_dw": 0.0, "agg_comm": 0.0, "other_comm": 0.0}
+        detail: dict[str, float] = {"spmm": 0.0, "gemm": 0.0, "gemm_dw": 0.0, "agg_comm": 0.0, "other_comm": 0.0, "hidden_comm": 0.0}
         for i in range(n_layers):
             roles = axis_roles(i)
             gx, gy, gz = (config.size(roles.x), config.size(roles.y), config.size(roles.z))
@@ -124,8 +130,14 @@ class PlexusAnalytic:
             h_bytes = rows_z * cols_y * _ELEM
             t_agg_comm = ring_all_reduce_time(h_bytes, gx, bx)
             if self.aggregation_blocks > 1:
-                # per-block all-reduces pipeline behind the next block's SpMM
-                t_agg_comm = t_agg_comm * cal.blocked_comm_visible_frac + self.aggregation_blocks * cal.collective_overhead_s
+                hidden_agg = 0.0
+                if self.overlap:
+                    # nonblocking handles: each block's all-reduce stays in
+                    # flight behind the next block's SpMM, so only the
+                    # visible fraction reaches the timeline
+                    hidden_agg = t_agg_comm * (1.0 - cal.blocked_comm_visible_frac)
+                    detail["hidden_comm"] += hidden_agg
+                t_agg_comm = t_agg_comm - hidden_agg + self.aggregation_blocks * cal.collective_overhead_s
             comm += t_agg_comm + wait
             detail["agg_comm"] += t_agg_comm + wait
 
@@ -166,6 +178,17 @@ class PlexusAnalytic:
                     t += ring_all_reduce_time(f_bytes, gz, bz)
             comm += t
             detail["other_comm"] += t
+
+            # ---- overlap (nonblocking handles): prefetched W all-gathers --
+            # are issued a layer ahead, so the forward gather hides behind
+            # this layer's aggregation SpMM and the backward re-gather
+            # behind the grad-W GEMM; only the uncovered tail stays visible.
+            if self.overlap:
+                t_wg = ring_all_gather_time(w_bytes, gz, bz)
+                hidden = min(t_wg, t_spmm * mean_mult) + min(t_wg, t_dw)
+                comm -= hidden
+                detail["other_comm"] -= hidden
+                detail["hidden_comm"] += hidden
         # fixed per-epoch collective launch overheads (~10 collectives/layer)
         comm += cal.collective_overhead_s * 10 * n_layers
         return EpochEstimate(comm=comm, comp=comp, detail=detail)

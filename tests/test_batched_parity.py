@@ -100,6 +100,23 @@ class TestEngineParity:
         assert rb.losses == rp.losses
         assert np.array_equal(cb.clocks, cp.clocks)
 
+    def test_noisy_runs_bitwise(self):
+        """SpMM noise on the batched engine: the vectorized sampler consumes
+        the same RNG stream as per-rank draws in rank order, so losses,
+        weights and (noise-inflated) clocks match the reference bitwise."""
+        a, feats, labels, mask = _dataset(7)
+        noise = lambda: SpmmNoise(threshold_nnz=1, sigma=0.5, seed=11)  # noqa: E731
+        mb, rb, cb = _train(a, feats, labels, mask, GRIDS[0], "batched", noise=noise())
+        mp, rp, cp = _train(a, feats, labels, mask, GRIDS[0], "perrank", noise=noise())
+        assert mb.engine == "batched" and mp.engine == "perrank"
+        assert rb.losses == rp.losses
+        for i in range(len(DIMS) - 1):
+            for r in range(GRIDS[0].total):
+                assert np.array_equal(mb.layers[i].w_shards[r], mp.layers[i].w_shards[r])
+        assert np.array_equal(cb.clocks, cp.clocks)
+        assert np.array_equal(cb.category_totals("comm:"), cp.category_totals("comm:"))
+        assert np.array_equal(cb.category_totals("comp:"), cp.category_totals("comp:"))
+
 
 class TestEngineSelection:
     def test_auto_prefers_batched_on_divisible(self):
@@ -116,14 +133,18 @@ class TestEngineSelection:
         )
         assert model.engine == "perrank"
 
-    @pytest.mark.parametrize(
-        "opts",
-        [dict(aggregation_blocks=3), dict(noise=SpmmNoise(threshold_nnz=1))],
-    )
-    def test_auto_falls_back_on_perrank_only_features(self, opts):
+    def test_auto_falls_back_on_blocked_aggregation(self):
         a, feats, labels, mask = _dataset(0)
-        m, _, _ = _train(a, feats, labels, mask, GRIDS[1], "auto", epochs=1, **opts)
+        m, _, _ = _train(a, feats, labels, mask, GRIDS[1], "auto", epochs=1, aggregation_blocks=3)
         assert m.engine == "perrank"
+
+    def test_noise_no_longer_forces_perrank(self):
+        """The vectorized sampler draws per rank in rank order, so noisy
+        runs stay eligible for the rank-batched engine."""
+        a, feats, labels, mask = _dataset(0)
+        m, _, _ = _train(a, feats, labels, mask, GRIDS[1], "auto", epochs=1,
+                         noise=SpmmNoise(threshold_nnz=1))
+        assert m.engine == "batched"
 
     def test_batched_raises_when_ineligible(self):
         a, feats, labels, mask = _dataset(0)

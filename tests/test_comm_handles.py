@@ -1,0 +1,325 @@
+"""The nonblocking communicator API: handles, misuse, and overlap schedules.
+
+Covers the ``repro.dist.comm`` contract:
+
+* eager equivalence — issue-then-wait matches the deprecated free functions
+  bitwise (data, clocks, phase totals), and results are fixed at issue time
+  so wait-order permutations cannot change them;
+* misuse is loud — double ``wait()`` raises, and a dropped (never-waited)
+  handle is detected at epoch end;
+* deprecation — each legacy free function warns exactly once;
+* overlap semantics — ``overlap=True`` strictly reduces simulated comm time
+  on blocked-aggregation and batched configurations while losses, weights
+  and comp time stay bitwise identical (only the clocks change).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.dist.collectives as collectives
+from repro.core import Axis, GridConfig, PlexusGCN, PlexusOptions, PlexusTrainer
+from repro.dist import (
+    LAPTOP,
+    PERLMUTTER,
+    ProcessGroup,
+    VirtualCluster,
+    communicator,
+)
+from repro.graph.features import degree_labels, random_split_masks, synth_features
+from repro.graph.generators import rmat_graph
+from repro.sparse.ops import gcn_normalize
+
+N_NODES = 72
+DIMS = [24, 24, 12]
+
+
+def _dataset(seed=3):
+    a = gcn_normalize(rmat_graph(N_NODES, avg_degree=6, seed=seed))
+    feats = synth_features(N_NODES, DIMS[0], seed + 1)
+    labels = degree_labels(a, DIMS[-1], seed + 2)
+    train, _, _ = random_split_masks(N_NODES, seed + 3)
+    return a, feats, labels, train
+
+
+def _train(cfg, overlap, engine="auto", epochs=4, **opts):
+    a, feats, labels, mask = _dataset()
+    cluster = VirtualCluster(cfg.total, PERLMUTTER)
+    model = PlexusGCN(
+        cluster, cfg, a, feats, labels, mask, DIMS,
+        PlexusOptions(seed=0, engine=engine, overlap=overlap, **opts),
+    )
+    result = PlexusTrainer(model).train(epochs)
+    weights = np.concatenate([w.ravel() for l in model.layers for w in l.w_shards])
+    return model, result, cluster, weights
+
+
+def _group(cluster, ranks):
+    return ProcessGroup([cluster[r] for r in ranks], cluster.machine, bandwidth=1e9)
+
+
+class TestHandleBasics:
+    def test_issue_defers_completion_charge(self, rng):
+        cluster = VirtualCluster(4, LAPTOP)
+        comm = communicator(_group(cluster, range(4)))
+        shards = [rng.standard_normal((8, 4)) for _ in range(4)]
+        handle = comm.all_reduce(shards)
+        assert np.all(cluster.clocks == 0.0)  # issue cost defaults to zero
+        out = handle.wait()
+        assert np.all(cluster.clocks > 0.0)
+        np.testing.assert_array_equal(out[0], np.add.reduce(np.stack(shards)))
+
+    def test_compute_between_issue_and_wait_hides_comm(self, rng):
+        def comm_total(compute_s):
+            cluster = VirtualCluster(2, LAPTOP)
+            comm = communicator(_group(cluster, range(2)))
+            handle = comm.all_reduce([rng.standard_normal((256, 64)) for _ in range(2)])
+            cluster.advance_all(compute_s, "comp:overlapped")
+            handle.wait()
+            return float(cluster.category_totals("comm:").sum())
+
+        eager = comm_total(0.0)
+        overlapped = comm_total(eager)  # more compute than the transfer takes
+        assert overlapped == 0.0
+        assert eager > 0.0
+
+    def test_in_flight_ops_on_one_link_serialize(self, rng):
+        """Two issued-back-to-back collectives on one group queue on the
+        link: total visible comm equals the sum of both transfers even
+        though neither was waited before the other was issued."""
+        shards = [rng.standard_normal((64, 32)) for _ in range(2)]
+
+        cluster = VirtualCluster(2, LAPTOP)
+        comm = communicator(_group(cluster, range(2)))
+        h1 = comm.all_reduce(shards)
+        h2 = comm.all_reduce(shards)
+        h1.wait()
+        h2.wait()
+        pipelined = cluster.max_clock()
+
+        cluster2 = VirtualCluster(2, LAPTOP)
+        comm2 = communicator(_group(cluster2, range(2)))
+        comm2.all_reduce(shards).wait()
+        comm2.all_reduce(shards).wait()
+        assert pipelined == cluster2.max_clock()
+
+    def test_issue_overhead_charged_at_issue(self, rng):
+        """A nonzero launch cost, enabled on the cached communicator, is
+        charged to every member the moment the collective is issued."""
+        cluster = VirtualCluster(2, LAPTOP)
+        group = _group(cluster, range(2))
+        comm = communicator(group)
+        assert communicator(group) is comm  # cached: overhead + link shared
+        comm.issue_overhead_s = 2e-6
+        handle = comm.all_reduce([rng.standard_normal(4) for _ in range(2)])
+        np.testing.assert_allclose(cluster.clocks, 2e-6)
+        handle.wait()
+        assert float(cluster.category_totals("comm:").min()) > 2e-6
+
+    def test_stacked_and_map_paths_share_axis_links(self, rng):
+        """A stacked collective and a group-wise map collective issued on
+        the same axis serialize on the same physical links: deferring both
+        waits costs exactly as much wall clock as waiting eagerly."""
+        from repro.core.grid import PlexusGrid
+
+        cfg = GridConfig(2, 2, 1)
+        stacked = rng.standard_normal((cfg.total, 8, 4))
+        per_rank = [rng.standard_normal((8, 4)) for _ in range(cfg.total)]
+
+        cluster1 = VirtualCluster(cfg.total, PERLMUTTER)
+        grid1 = PlexusGrid(cluster1, cfg)
+        h1 = grid1.comm(Axis.X).all_reduce(stacked)
+        h2 = grid1.comm(Axis.X).map_all_reduce(per_rank)
+        h1.wait()
+        h2.wait()
+
+        cluster2 = VirtualCluster(cfg.total, PERLMUTTER)
+        grid2 = PlexusGrid(cluster2, cfg)
+        grid2.comm(Axis.X).all_reduce(stacked).wait()
+        grid2.comm(Axis.X).map_all_reduce(per_rank).wait()
+        assert cluster1.max_clock() == cluster2.max_clock()
+
+    def test_double_wait_raises(self, rng):
+        cluster = VirtualCluster(2, LAPTOP)
+        comm = communicator(_group(cluster, range(2)))
+        handle = comm.all_reduce([rng.standard_normal(4) for _ in range(2)])
+        handle.wait()
+        with pytest.raises(RuntimeError, match="waited twice"):
+            handle.wait()
+
+    def test_double_wait_raises_on_map_handle(self, rng):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        from repro.core.grid import PlexusGrid
+
+        grid = PlexusGrid(cluster, GridConfig(2, 2, 1))
+        handle = grid.comm(Axis.X).map_all_reduce(
+            [rng.standard_normal(4) for _ in range(4)]
+        )
+        handle.wait()
+        with pytest.raises(RuntimeError, match="waited twice"):
+            handle.wait()
+
+    def test_dropped_handle_detected(self, rng):
+        cluster = VirtualCluster(2, LAPTOP)
+        comm = communicator(_group(cluster, range(2)))
+        handle = comm.all_reduce([rng.standard_normal(4) for _ in range(2)])
+        with pytest.raises(RuntimeError, match="never\\s+waited"):
+            cluster.check_outstanding()
+        handle.wait()
+        cluster.check_outstanding()  # clean after the wait
+
+    def test_handle_waited_inside_no_charge_not_resurrected(self, rng):
+        """A handle issued outside but consumed inside ``no_charge`` must
+        not reappear as outstanding when the snapshot is restored."""
+        cluster = VirtualCluster(2, LAPTOP)
+        comm = communicator(_group(cluster, range(2)))
+        handle = comm.all_reduce([rng.standard_normal(4) for _ in range(2)])
+        with cluster.no_charge():
+            handle.wait()
+        cluster.check_outstanding()  # must not report the waited handle
+
+    def test_dropped_handle_detected_at_epoch_end(self, rng):
+        cfg = GridConfig(2, 2, 1)
+        a, feats, labels, mask = _dataset()
+        cluster = VirtualCluster(cfg.total, PERLMUTTER)
+        model = PlexusGCN(cluster, cfg, a, feats, labels, mask, DIMS, PlexusOptions(seed=0))
+        trainer = PlexusTrainer(model)
+        trainer.train(1)  # the engine waits everything it issues
+        model.grid.comm(Axis.X).map_all_reduce(
+            [rng.standard_normal(3) for _ in range(cfg.total)], phase="stray"
+        )
+        with pytest.raises(RuntimeError, match="stray"):
+            trainer.train_epoch()
+
+
+class TestWaitOrderInvariance:
+    def test_results_bitwise_identical_to_eager_under_permuted_waits(self, rng):
+        """Results are fixed at issue; any wait order reproduces the eager
+        float64 payloads bitwise (ops live on different axes/groups)."""
+        from repro.core.grid import PlexusGrid
+
+        cfg = GridConfig(2, 2, 2)
+        ops = [("all_reduce", Axis.X), ("all_gather", Axis.Z), ("reduce_scatter", Axis.Y)]
+        stacked = {
+            axis: rng.standard_normal((cfg.total, 8, 4)) for _, axis in ops
+        }
+
+        def eager():
+            cluster = VirtualCluster(cfg.total, PERLMUTTER)
+            grid = PlexusGrid(cluster, cfg)
+            return [
+                getattr(grid.comm(axis), kind)(stacked[axis]).wait()
+                for kind, axis in ops
+            ]
+
+        reference = eager()
+        for order in ([0, 1, 2], [2, 1, 0], [1, 2, 0], [2, 0, 1]):
+            cluster = VirtualCluster(cfg.total, PERLMUTTER)
+            grid = PlexusGrid(cluster, cfg)
+            handles = [getattr(grid.comm(axis), kind)(stacked[axis]) for kind, axis in ops]
+            results = [None] * len(ops)
+            for i in order:
+                results[i] = handles[i].wait()
+            for res, ref in zip(results, reference):
+                assert np.array_equal(res, ref)
+
+
+class TestDeprecationShims:
+    def test_each_free_function_warns_exactly_once(self, rng):
+        cluster = VirtualCluster(4, PERLMUTTER)
+        group = _group(cluster, range(2))
+        from repro.core.grid import PlexusGrid
+
+        grid = PlexusGrid(cluster, GridConfig(2, 2, 1))
+        axis_desc = grid.axis_comm(Axis.X)
+        shards = [rng.standard_normal((4, 4)) for _ in range(2)]
+        stacked = rng.standard_normal((4, 4, 4))
+        calls = {
+            "all_reduce": lambda: collectives.all_reduce(group, shards),
+            "all_gather": lambda: collectives.all_gather(group, shards),
+            "reduce_scatter": lambda: collectives.reduce_scatter(group, shards),
+            "broadcast": lambda: collectives.broadcast(group, shards[0]),
+            "all_to_all": lambda: collectives.all_to_all(
+                group, [[shards[0], shards[1]], [shards[1], shards[0]]]
+            ),
+            "axis_all_reduce": lambda: collectives.axis_all_reduce(axis_desc, stacked),
+            "axis_all_gather": lambda: collectives.axis_all_gather(axis_desc, stacked),
+            "axis_reduce_scatter": lambda: collectives.axis_reduce_scatter(axis_desc, stacked),
+        }
+        for name, call in calls.items():
+            collectives._DEPRECATED_WARNED.discard(name)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                call()
+                call()  # second call must stay silent
+            deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1, name
+            assert name in str(deprecations[0].message)
+
+    def test_shim_matches_communicator_bitwise(self, rng):
+        shards = [rng.standard_normal((6, 3)) for _ in range(4)]
+
+        cluster1 = VirtualCluster(4, LAPTOP)
+        out1 = collectives.all_reduce(_group(cluster1, range(4)), shards)
+        cluster2 = VirtualCluster(4, LAPTOP)
+        out2 = communicator(_group(cluster2, range(4))).all_reduce(shards).wait()
+        assert np.array_equal(out1[0], out2[0])
+        assert np.array_equal(cluster1.clocks, cluster2.clocks)
+
+
+class TestOverlapSchedules:
+    """Acceptance: overlap changes only the clocks, never the numerics."""
+
+    def _compare(self, cfg, engine, **opts):
+        me, re_, ce, we = _train(cfg, overlap=False, engine=engine, **opts)
+        mo, ro, co, wo = _train(cfg, overlap=True, engine=engine, **opts)
+        assert me.engine == mo.engine
+        assert re_.losses == ro.losses
+        assert np.array_equal(we, wo)
+        comm_e = float(np.mean(ce.category_totals("comm:")))
+        comm_o = float(np.mean(co.category_totals("comm:")))
+        assert np.array_equal(ce.category_totals("comp:"), co.category_totals("comp:"))
+        return comm_e, comm_o, ce, co
+
+    def test_blocked_aggregation_overlap_strictly_reduces_comm(self):
+        """The Fig. 9-style configuration: aggregation_blocks > 1 pipelines
+        per-block all-reduces behind the next block's SpMM."""
+        comm_e, comm_o, ce, co = self._compare(
+            GridConfig(2, 2, 2), "perrank", aggregation_blocks=4
+        )
+        assert comm_o < comm_e
+        assert not np.array_equal(ce.clocks, co.clocks)
+
+    def test_batched_w_prefetch_strictly_reduces_comm(self):
+        comm_e, comm_o, ce, co = self._compare(GridConfig(3, 2, 2), "batched")
+        assert comm_o < comm_e
+        assert not np.array_equal(ce.clocks, co.clocks)
+
+    def test_overlap_engines_agree_bitwise(self):
+        """Both engines run the same overlap schedule: losses, weights and
+        clocks stay engine-independent with overlap on."""
+        mb, rb, cb, wb = _train(GridConfig(3, 2, 2), overlap=True, engine="batched")
+        mp, rp, cp, wp = _train(GridConfig(3, 2, 2), overlap=True, engine="perrank")
+        assert mb.engine == "batched" and mp.engine == "perrank"
+        assert rb.losses == rp.losses
+        assert np.array_equal(wb, wp)
+        assert np.array_equal(cb.clocks, cp.clocks)
+
+    def test_epoch_time_never_worse_with_overlap(self):
+        _, re_, ce, _ = _train(GridConfig(2, 2, 2), overlap=False, aggregation_blocks=4, engine="perrank")
+        _, ro, co, _ = _train(GridConfig(2, 2, 2), overlap=True, aggregation_blocks=4, engine="perrank")
+        assert co.max_clock() <= ce.max_clock()
+
+    def test_train_plexus_overlap_composes_with_explicit_options(self):
+        """overlap=True must not be silently dropped when the caller also
+        passes an options object."""
+        from repro import PlexusOptions, train_plexus
+
+        eager = train_plexus("ogbn-products", gpus=8, epochs=3, seed=0,
+                             options=PlexusOptions(seed=0))
+        overlapped = train_plexus("ogbn-products", gpus=8, epochs=3, seed=0,
+                                  options=PlexusOptions(seed=0), overlap=True)
+        assert overlapped.losses == eager.losses
+        assert (sum(e.comm_time for e in overlapped.epochs)
+                < sum(e.comm_time for e in eager.epochs))

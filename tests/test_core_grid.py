@@ -176,3 +176,34 @@ class TestMapCollective:
         grid = PlexusGrid(VirtualCluster(2, PERLMUTTER), cfg)
         with pytest.raises(ValueError):
             map_collective(grid, Axis.X, [np.zeros(1)], all_reduce)
+
+    def test_string_kind_matches_legacy_function(self):
+        cfg = GridConfig(2, 2, 1)
+        per_rank = [np.array([float(r)]) for r in range(4)]
+        grid1 = PlexusGrid(VirtualCluster(4, PERLMUTTER), cfg)
+        out1 = map_collective(grid1, Axis.Y, per_rank, "all_reduce")
+        grid2 = PlexusGrid(VirtualCluster(4, PERLMUTTER), cfg)
+        out2 = map_collective(grid2, Axis.Y, per_rank, all_reduce)
+        for a, b in zip(out1, out2):
+            assert np.array_equal(a, b)
+        assert np.array_equal(grid1.cluster.clocks, grid2.cluster.clocks)
+
+    def test_unknown_string_kind_rejected(self):
+        grid = PlexusGrid(VirtualCluster(2, PERLMUTTER), GridConfig(2, 1, 1))
+        with pytest.raises(ValueError, match="unknown collective"):
+            map_collective(grid, Axis.X, [np.zeros(1), np.zeros(1)], "gather_all")
+
+    def test_custom_callable_is_invoked_not_name_matched(self):
+        """A user callable that happens to be named like a built-in must run
+        itself (legacy functions are matched by identity, never by name)."""
+        cfg = GridConfig(2, 1, 1)
+        grid = PlexusGrid(VirtualCluster(2, PERLMUTTER), cfg)
+        calls = []
+
+        def all_reduce(group, shards, **kwargs):  # shadows the built-in name
+            calls.append(len(shards))
+            return [s + 100.0 for s in shards]
+
+        out = map_collective(grid, Axis.X, [np.zeros(1), np.zeros(1)], all_reduce)
+        assert calls == [2]
+        assert out[0][0] == 100.0
