@@ -25,20 +25,154 @@ outputs feed straight into the handle-based communicators
 one issued axis collective, whose :class:`~repro.dist.comm.PendingCollective`
 the engine waits where the next kernel consumes the result.
 
+When sharding is quasi-equal (a dimension does not divide its grid axis),
+the engine's stacks become :class:`~repro.dist.padded.PaddedStack` — ragged
+shards zero-padded to a common extent with per-rank valid masks.  The
+``stack_*`` helpers here make the layer code agnostic to the stack kind:
+:func:`stack_matmul` runs one ``np.matmul`` per exact-shape group (so the
+floating-point association order matches the per-rank reference bitwise,
+never summing over pad entries), :meth:`BlockDiagSpmm.apply_padded` drives
+one block-diagonal SpMM whose blocks sit at padded offsets (pad rows carry
+no nonzeros, so they contribute nothing), and :func:`concat_stack_rows`
+reassembles blocked-aggregation outputs from valid rows only.
+
 All outputs preserve the input dtype, so the engine's ``compute_dtype``
 (float32 for benchmarks, float64 for validation) flows through untouched.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.dist.padded import PaddedStack, stack_shards
 from repro.sparse.ops import spmm
 
-__all__ = ["batched_matmul", "BlockDiagSpmm"]
+__all__ = [
+    "batched_matmul",
+    "BlockDiagSpmm",
+    "PaddedStack",
+    "stack_shards",
+    "shard_views",
+    "stack_data",
+    "stack_matmul",
+    "stack_transpose",
+    "stack_map",
+    "stack_mul",
+    "concat_stack_rows",
+]
+
+
+def shard_views(stacked) -> list[np.ndarray]:
+    """Per-rank views into a stack of any kind (ndarray / PaddedStack /
+    list): the engine's rank-indexed accessors."""
+    if isinstance(stacked, PaddedStack):
+        return stacked.views()
+    return list(stacked)
+
+
+def stack_data(stacked) -> np.ndarray:
+    """The raw ndarray behind a stack of either kind.
+
+    Padded pads are zero and their gradients stay zero, so handing the raw
+    array to elementwise consumers (the optimizer, mask products) is safe.
+    """
+    return stacked.data if isinstance(stacked, PaddedStack) else stacked
+
+
+def stack_transpose(stacked):
+    """Per-rank transpose of a stacked operand (a view, either kind)."""
+    if isinstance(stacked, PaddedStack):
+        return stacked.transpose()
+    return stacked.transpose(0, 2, 1)
+
+
+def stack_map(fn: Callable[[np.ndarray], np.ndarray], stacked):
+    """Apply an elementwise kernel to a stack of either kind.
+
+    Pad entries of a :class:`PaddedStack` are zero, so any kernel with
+    ``fn(0) == 0`` (ReLU, its gradient mask, scaling) leaves them inert."""
+    if isinstance(stacked, PaddedStack):
+        return stacked.with_data(fn(stacked.data))
+    return fn(stacked)
+
+
+def stack_mul(a, b):
+    """Elementwise product of two stacked operands of matching geometry."""
+    bd = b.data if isinstance(b, PaddedStack) else b
+    if isinstance(a, PaddedStack):
+        return a.with_data(a.data * bd)
+    return a * bd
+
+
+def stack_matmul(a, b, *, ta: bool = False, tb: bool = False):
+    """Per-rank ``op(a[r]) @ op(b[r])`` over stacked operands.
+
+    Plain ndarrays take the single ``np.matmul`` fast path.  PaddedStack
+    operands are multiplied one exact-shape group at a time (quasi-equal
+    sharding yields only a handful of groups), writing into a zero-padded
+    output — the same grouping :func:`batched_matmul` applies to per-rank
+    lists, so results are bitwise identical to the reference engine.
+    """
+    if not isinstance(a, PaddedStack) and not isinstance(b, PaddedStack):
+        aa = a.transpose(0, 2, 1) if ta else a
+        bb = b.transpose(0, 2, 1) if tb else b
+        return np.matmul(aa, bb)
+    ap = a if isinstance(a, PaddedStack) else PaddedStack(a, np.full(a.shape[0], a.shape[1]))
+    bp = b if isinstance(b, PaddedStack) else PaddedStack(b, np.full(b.shape[0], b.shape[1]))
+    if ta:
+        ap = ap.transpose()
+    if tb:
+        bp = bp.transpose()
+    m, k = ap.rows, ap.cols
+    k2, n = bp.rows, bp.cols
+    if np.any(k != k2):
+        raise ValueError("stack_matmul: inner extents disagree")
+    world = ap.world
+    out = np.zeros(
+        (world, int(m.max(initial=0)), int(n.max(initial=0))),
+        dtype=np.result_type(ap.dtype, bp.dtype),
+    )
+    buckets: dict[tuple[int, int, int], list[int]] = {}
+    for r in range(world):
+        buckets.setdefault((m[r], k[r], n[r]), []).append(r)
+    for (mm, kk, nn), ranks in buckets.items():
+        # np.stack of the exact-extent views, exactly like batched_matmul:
+        # it preserves each operand's (possibly transposed) memory layout,
+        # so BLAS takes the same kernel and rounds identically to the
+        # per-rank engine
+        prod = np.matmul(
+            np.stack([ap.data[r, :mm, :kk] for r in ranks]),
+            np.stack([bp.data[r, :kk, :nn] for r in ranks]),
+        )
+        out[np.asarray(ranks, dtype=np.intp), :mm, :nn] = prod
+    return PaddedStack(out, m, n)
+
+
+def concat_stack_rows(parts: Sequence):
+    """Concatenate stacks along the shard-row axis (blocked aggregation's
+    reassembly step).  Pure copying — bitwise identical to the per-rank
+    engine's ``np.concatenate`` over each rank's block results."""
+    if all(isinstance(p, np.ndarray) for p in parts):
+        return np.concatenate(parts, axis=1)
+    padded = [p if isinstance(p, PaddedStack) else PaddedStack.from_shards(list(p)) for p in parts]
+    world = padded[0].world
+    rows = np.sum([p.rows for p in padded], axis=0)
+    cols = padded[0].cols
+    for p in padded[1:]:
+        if (cols is None) != (p.cols is None) or (cols is not None and np.any(p.cols != cols)):
+            raise ValueError("concat_stack_rows: column extents disagree across parts")
+    max_c = max(p.data.shape[2] for p in padded)
+    out = np.zeros((world, int(rows.max(initial=0)), max_c), dtype=padded[0].dtype)
+    for r in range(world):
+        at = 0
+        for p in padded:
+            rr = p.rows[r]
+            out[r, at : at + rr, : p.cols[r]] = p.view(r)
+            at += rr
+    return PaddedStack(out, rows, cols)
 
 
 def batched_matmul(
@@ -85,6 +219,8 @@ class BlockDiagSpmm:
         self.uniform = len({s.shape for s in shards}) == 1
         #: f-shape signature -> list of (rank_idx, block-diag CSR, row splits)
         self._plans: dict[tuple, list[tuple[np.ndarray, sp.csr_matrix, np.ndarray]]] = {}
+        #: padded-operand signature -> (padded block-diag CSR, max rows, out rows)
+        self._padded_plans: dict[tuple, tuple[sp.csr_matrix, int, np.ndarray]] = {}
 
     def _plan(self, f_shapes: tuple) -> list[tuple[np.ndarray, sp.csr_matrix, np.ndarray]]:
         plan = self._plans.get(f_shapes)
@@ -126,3 +262,54 @@ class BlockDiagSpmm:
         ranks, bd, _ = self._plan(((k, c),) * world)[0]
         h = spmm(bd, f_stacked.reshape(world * k, c))
         return h.reshape(world, -1, c)
+
+    def apply_padded(self, f: PaddedStack) -> PaddedStack:
+        """Ragged fast path: one SpMM over a padded block-diagonal plan.
+
+        Each rank's A shard sits at row offset ``r * max_rows`` and column
+        offset ``r * max_k`` of one big CSR, so a single
+        ``bd @ f.data.reshape(world * max_k, c)`` computes every rank's
+        product.  Pad rows of A carry no nonzeros (their output rows are
+        exact zeros) and pad rows of F are never referenced by any column
+        index, so each valid output row accumulates exactly the per-rank
+        nonzeros in CSR index order — bitwise identical to ``apply()``.
+        """
+        world = self.world
+        max_k = f.data.shape[1]
+        key = (max_k, f.rows.tobytes())
+        plan = self._padded_plans.get(key)
+        if plan is None:
+            for r, s in enumerate(self.shards):
+                if s.shape[1] != f.rows[r]:
+                    raise ValueError(
+                        f"rank {r}: dense operand has {f.rows[r]} valid rows, "
+                        f"shard expects {s.shape[1]}"
+                    )
+            max_m = max(s.shape[0] for s in self.shards)
+            padded = []
+            for s in self.shards:
+                indptr = np.concatenate(
+                    [s.indptr, np.full(max_m - s.shape[0], s.nnz, dtype=s.indptr.dtype)]
+                )
+                padded.append(sp.csr_matrix((s.data, s.indices, indptr), shape=(max_m, max_k)))
+            bd = sp.block_diag(padded, format="csr")
+            out_rows = np.asarray([s.shape[0] for s in self.shards], dtype=np.int64)
+            plan = self._padded_plans[key] = (bd, max_m, out_rows)
+        bd, max_m, out_rows = plan
+        c = f.data.shape[2]
+        h = spmm(bd, f.data.reshape(world * max_k, c))
+        return PaddedStack(h.reshape(world, max_m, c), out_rows, f.cols)
+
+    def apply_batched(self, f):
+        """Whole-grid SpMM on a stacked operand of either kind.
+
+        A plain ndarray against ragged A shards (uniform dense sharding,
+        quasi-equal adjacency rows) is wrapped as a fully-valid padded stack
+        so the output comes back with its ragged row mask."""
+        if isinstance(f, PaddedStack):
+            return self.apply_padded(f)
+        if not self.uniform:
+            return self.apply_padded(
+                PaddedStack(f, np.full(f.shape[0], f.shape[1], dtype=np.int64))
+            )
+        return self.apply_stacked(f)

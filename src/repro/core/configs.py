@@ -62,9 +62,11 @@ class PlexusOptions:
     #: model, layers, collectives and feature synthesis.
     compute_dtype: type | None = None
     #: execution engine: "batched" runs each parallel step as stacked
-    #: whole-grid tensor ops (requires divisible sharding and unblocked
-    #: aggregation), "perrank" is the reference per-rank loop, "auto" picks
-    #: batched whenever eligible.
+    #: whole-grid tensor ops — universal: divisible sharding uses plain
+    #: ndarray stacks, quasi-equal sharding padded stacks with valid masks,
+    #: blocked aggregation per-block stacked SpMM plans.  "perrank" is the
+    #: per-rank reference loop kept as the bitwise-parity oracle; "auto"
+    #: (the default) selects batched.
     engine: Literal["auto", "batched", "perrank"] = "auto"
     #: nonblocking-collective scheduling (Sec. 5.2): issue the per-block
     #: aggregation all-reduces and keep them in flight behind the next row
@@ -72,6 +74,18 @@ class PlexusOptions:
     #: the previous layer.  Losses and weights are bitwise identical either
     #: way — only the simulated clocks (comm/comp breakdown) change.
     overlap: bool = False
+    #: with ``overlap=True`` and frozen input features, also prefetch the
+    #: layer-0 F all-gather *across epochs* (issued at the end of backward,
+    #: waited at the top of the next forward) — same numerics, strictly
+    #: less visible communication.
+    prefetch_f0: bool = True
+    #: bound on simultaneously in-flight collectives per link (threaded to
+    #: ``ClockStore.max_inflight``).  ``None`` = unbounded (the historical
+    #: behavior).  When a link is saturated, issuing blocks: the group's
+    #: clocks advance to the time a slot frees, charged as communication
+    #: wait — deep overlap schedules lose exactly the overlap a real NIC's
+    #: bounded queue would deny them.
+    max_inflight: int | None = None
     #: deprecated alias for ``compute_dtype`` (kept for older call sites)
     dtype: type | None = None
 
@@ -82,6 +96,8 @@ class PlexusOptions:
             raise ValueError("lr must be positive")
         if self.engine not in ("auto", "batched", "perrank"):
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None for unbounded)")
         if self.compute_dtype is None:
             self.compute_dtype = np.float64 if self.dtype is None else self.dtype
         elif self.dtype is not None and self.dtype is not self.compute_dtype:

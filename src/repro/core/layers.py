@@ -30,12 +30,16 @@ Two execution engines share this class (selected by the model):
   to a plain per-rank loop.
 * ``"batched"`` — the rank-batched fast path: per-rank operands live as one
   stacked ``(world, m, n)`` tensor, the three GEMMs of Algorithms 1-2 run
-  as single ``np.matmul`` batched calls, the SpMMs as one block-diagonal
-  CSR product (:class:`repro.core.batch.BlockDiagSpmm`), and the
-  collectives as cube-reshaped axis reductions (the stacked methods of
-  :class:`~repro.dist.comm.AxisCommunicator`).  Requires uniform shard
-  shapes (divisible dimensions); numerics are bitwise identical to the
-  per-rank engine in float64.
+  as single ``np.matmul`` batched calls (one per exact-shape group), the
+  SpMMs as one block-diagonal CSR product
+  (:class:`repro.core.batch.BlockDiagSpmm` — per aggregation row block when
+  blocking is on), and the collectives as cube-reshaped axis reductions
+  (the stacked methods of :class:`~repro.dist.comm.AxisCommunicator`).
+  Uniform (divisible) sharding uses plain ndarray stacks; quasi-equal
+  sharding uses zero-padded :class:`~repro.core.batch.PaddedStack` stacks
+  whose valid-extent masks keep pad rows out of the math, the gathers and
+  the byte accounting.  Every configuration is eligible; numerics are
+  bitwise identical to the per-rank engine in float64, clocks included.
 
 Kernel times are *precomputed* per rank at construction (shard shapes never
 change across epochs), so the hot loop advances all clocks per step with a
@@ -67,7 +71,17 @@ from typing import Any
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.batch import BlockDiagSpmm, batched_matmul
+from repro.core.batch import (
+    BlockDiagSpmm,
+    PaddedStack,
+    batched_matmul,
+    concat_stack_rows,
+    shard_views,
+    stack_map,
+    stack_matmul,
+    stack_shards,
+    stack_transpose,
+)
 from repro.core.grid import PlexusGrid
 from repro.core.noise import SpmmNoise
 from repro.core.sharding import LayerSharding
@@ -86,15 +100,17 @@ class LayerCache:
     """Per-rank forward activations kept for the backward pass.
 
     Each field is indexable by rank: a list of 2D arrays on the per-rank
-    engine, a stacked ``(world, m, n)`` tensor on the batched engine.
+    engine, a stacked ``(world, m, n)`` tensor (plain for uniform sharding,
+    :class:`~repro.core.batch.PaddedStack` for quasi-equal) on the batched
+    engine.
     """
 
     #: gathered input features F (full local block), per rank
-    f: list[np.ndarray] | np.ndarray
+    f: list[np.ndarray] | np.ndarray | PaddedStack
     #: aggregation output H after the X-all-reduce, per rank
-    h: list[np.ndarray] | np.ndarray
+    h: list[np.ndarray] | np.ndarray | PaddedStack
     #: pre-activation Q after the Y-all-reduce, per rank
-    q: list[np.ndarray] | np.ndarray
+    q: list[np.ndarray] | np.ndarray | PaddedStack
 
 
 class PlexusLayer:
@@ -153,23 +169,46 @@ class PlexusLayer:
             self._bd_at = BlockDiagSpmm(self.at_shards)
             if shard_cache is not None:
                 shard_cache[cache_key] = (self.a_shards, self.at_shards, self._bd_a, self._bd_at)
-        # -- row-blocked views for blocked aggregation
-        self._a_blocks: list[list[sp.csr_matrix]] = []
-        for rank in range(world):
-            shard = self.a_shards[rank]
-            slices = block_slices(shard.shape[0], aggregation_blocks)
-            self._a_blocks.append(
-                [csr_block(shard, sl, slice(0, shard.shape[1])) for sl in slices]
-            )
+        # -- row-blocked views + per-block stacked SpMM plans, cached like
+        # the shards: layers i and i+3 share roles (period-3 rotation), so
+        # they reuse one set of block slices and block-diagonal plans
+        blocks_key = ("blocks", *cache_key)
+        if shard_cache is not None and blocks_key in shard_cache:
+            self._a_blocks, self._bd_blocks, self._block_nnz = shard_cache[blocks_key]
+        else:
+            self._a_blocks: list[list[sp.csr_matrix]] = []
+            for rank in range(world):
+                shard = self.a_shards[rank]
+                slices = block_slices(shard.shape[0], aggregation_blocks)
+                self._a_blocks.append(
+                    [csr_block(shard, sl, slice(0, shard.shape[1])) for sl in slices]
+                )
+            # per-aggregation-block stacked SpMM plans (batched engine only):
+            # one block-diagonal CSR over all ranks per row block, so blocked
+            # aggregation drives one SpMM per block instead of ``world`` calls
+            if engine == "batched" and aggregation_blocks > 1:
+                self._bd_blocks = [
+                    BlockDiagSpmm([self._a_blocks[r][b] for r in range(world)])
+                    for b in range(aggregation_blocks)
+                ]
+                self._block_nnz = [
+                    np.asarray([self._a_blocks[r][b].nnz for r in range(world)], dtype=np.float64)
+                    for b in range(aggregation_blocks)
+                ]
+            else:
+                self._bd_blocks = []
+                self._block_nnz = []
+            if shard_cache is not None:
+                shard_cache[blocks_key] = (self._a_blocks, self._bd_blocks, self._block_nnz)
         # -- weight shards: local (D_in/Gy x D_out/Gx) block, z-sub-sharded rows
         if engine == "batched":
-            self.w_stack: np.ndarray | None = np.stack(
+            self.w_stack: np.ndarray | PaddedStack | None = stack_shards(
                 [
                     w_full[sharding.w_row_subslice_z(grid, r), sharding.w_col_slice(grid, r)]
                     for r in range(world)
                 ]
             )
-            self.w_shards: list[np.ndarray] = list(self.w_stack)
+            self.w_shards: list[np.ndarray] = shard_views(self.w_stack)
         else:
             self.w_stack = None
             self.w_shards = [
@@ -189,17 +228,12 @@ class PlexusLayer:
         rescales the forward-SpMM vector per epoch.)
         """
         grid, sharding = self.grid, self.sharding
-        world = grid.world_size
         device = self.cluster.machine.device
-        ar = np.empty(world)  # A/H/Q rows (z-role block of N)
-        ac = np.empty(world)  # A cols = F rows (x-role block of N)
-        fc = np.empty(world)  # F/H cols = gathered-W rows (y-role block of D_in)
-        wc = np.empty(world)  # W/Q cols (x-role block of D_out)
-        for r in range(world):
-            ar[r] = _slen(sharding.a_row_slice(grid, r))
-            ac[r] = _slen(sharding.a_col_slice(grid, r))
-            fc[r] = _slen(sharding.f_col_slice(grid, r))
-            wc[r] = _slen(sharding.w_col_slice(grid, r))
+        extents = sharding.extent_table(grid)
+        ar = extents["a_rows"]  # A/H/Q rows (z-role block of N)
+        ac = extents["a_cols"]  # A cols = F rows (x-role block of N)
+        fc = extents["f_cols"]  # F/H cols = gathered-W rows (y-role block of D_in)
+        wc = extents["w_cols"]  # W/Q cols (x-role block of D_out)
         nnz = np.asarray([a.nnz for a in self.a_shards], dtype=np.float64)
         self._nnz_a = nnz
         cols = np.maximum(fc, 1.0)
@@ -242,28 +276,45 @@ class PlexusLayer:
             return comm_z.all_gather(self.w_stack, phase="all_gather_w")
         return comm_z.map_all_gather(self.w_shards, axis=0, phase="all_gather_w")
 
+    def issue_f_gather(self, f_in) -> PendingCollective | PendingMap:
+        """Issue the layer-0 Z-axis all-gather of the input-feature shards.
+
+        The forward pass issues and waits it in place by default; with
+        ``overlap=True`` the model driver calls this at the end of the
+        previous epoch's backward pass (cross-epoch prefetch), so the
+        gather rides behind the backward tail and the epoch barrier.
+        """
+        comm_z = self.grid.comm(self.roles.z)
+        if self.engine == "batched":
+            return comm_z.all_gather(f_in, phase="all_gather_f")
+        return comm_z.map_all_gather(f_in, axis=0, phase="all_gather_f")
+
     # -- forward (Algorithm 1) ---------------------------------------------------
-    def forward(self, f_in, w_pending=None) -> tuple[Any, LayerCache]:
+    def forward(self, f_in, w_pending=None, f_pending=None) -> tuple[Any, LayerCache]:
         """Aggregation, combination, activation for every rank.
 
         ``f_in`` per rank: the z-sub-shard for the first layer (line 3
         all-gathers it), or the full local F block for later layers.
         ``w_pending`` is an optional in-flight W all-gather handle (the
-        overlap schedule's prefetch); when absent the layer issues its own.
+        overlap schedule's prefetch); ``f_pending`` an optional in-flight
+        layer-0 F all-gather (the cross-epoch prefetch); when absent the
+        layer issues its own.
         """
         if self.engine == "batched":
-            return self._forward_batched(f_in, w_pending)
-        return self._forward_perrank(f_in, w_pending)
+            return self._forward_batched(f_in, w_pending, f_pending)
+        return self._forward_perrank(f_in, w_pending, f_pending)
 
     def _forward_perrank(
-        self, f_in: list[np.ndarray], w_pending=None
+        self, f_in: list[np.ndarray], w_pending=None, f_pending=None
     ) -> tuple[list[np.ndarray], LayerCache]:
         grid, roles = self.grid, self.roles
         world = grid.world_size
-        comm_x, comm_y, comm_z = (grid.comm(a) for a in (roles.x, roles.y, roles.z))
+        comm_x, comm_y = grid.comm(roles.x), grid.comm(roles.y)
         # Step 1 (line 3): all-gather F across the Z-parallel group (layer 0 only)
         if self.is_first:
-            f = comm_z.map_all_gather(f_in, axis=0, phase="all_gather_f").wait()
+            if f_pending is None:
+                f_pending = self.issue_f_gather(f_in)
+            f = f_pending.wait()
         else:
             f = list(f_in)
         # overlap: issue this layer's W gather before the aggregation phase
@@ -289,26 +340,51 @@ class PlexusLayer:
         f_out = [q[r] if self.is_last else relu(q[r]) for r in range(world)]
         return f_out, LayerCache(f=f, h=h, q=q)
 
-    def _forward_batched(self, f_in: np.ndarray, w_pending=None) -> tuple[np.ndarray, LayerCache]:
+    def _forward_batched(self, f_in, w_pending=None, f_pending=None) -> tuple[Any, LayerCache]:
         grid, roles = self.grid, self.roles
-        comm_x, comm_y, comm_z = (grid.comm(a) for a in (roles.x, roles.y, roles.z))
+        comm_x, comm_y = grid.comm(roles.x), grid.comm(roles.y)
         if self.is_first:
-            f = comm_z.all_gather(f_in, phase="all_gather_f").wait()
+            if f_pending is None:
+                f_pending = self.issue_f_gather(f_in)
+            f = f_pending.wait()
         else:
             f = f_in
         if self.overlap and w_pending is None:
             w_pending = self.issue_w_gather()
-        self._advance_spmm(self._t_spmm_fwd, self._nnz_a, "comp:spmm_fwd")
-        h_partial = self._bd_a.apply_stacked(f)
-        h = comm_x.all_reduce(h_partial, phase="all_reduce_h").wait()
+        if self.aggregation_blocks == 1:
+            self._advance_spmm(self._t_spmm_fwd, self._nnz_a, "comp:spmm_fwd")
+            h_partial = self._bd_a.apply_batched(f)
+            h = comm_x.all_reduce(h_partial, phase="all_reduce_h").wait()
+        else:
+            h = self._blocked_aggregation_batched(f)
         if w_pending is None:
             w_pending = self.issue_w_gather()
         w_local = w_pending.wait()
         self.cluster.advance_all(self._t_gemm_fwd, "comp:gemm_fwd")
-        q_partial = np.matmul(h, w_local)
+        q_partial = stack_matmul(h, w_local)
         q = comm_y.all_reduce(q_partial, phase="all_reduce_q").wait()
-        f_out = q if self.is_last else relu(q)
+        f_out = q if self.is_last else stack_map(relu, q)
         return f_out, LayerCache(f=f, h=h, q=q)
+
+    def _blocked_aggregation_batched(self, f):
+        """Sec. 5.2 blocked aggregation on the batched engine: one stacked
+        block-diagonal SpMM per row block (the per-block plans built at
+        construction), with the same eager/overlap all-reduce schedule as
+        the per-rank loop — overlap keeps each block's reduce in flight
+        behind the next block's SpMM and joins after the last block."""
+        comm_x = self.grid.comm(self.roles.x)
+        pending: list[PendingCollective] = []
+        blocks_out = []
+        for b in range(self.aggregation_blocks):
+            self._advance_spmm(self._t_spmm_blocks[b], self._block_nnz[b], "comp:spmm_fwd")
+            partial = self._bd_blocks[b].apply_batched(f)
+            handle = comm_x.all_reduce(partial, phase="all_reduce_h")
+            if self.overlap:
+                pending.append(handle)
+            else:
+                blocks_out.append(handle.wait())
+        blocks_out.extend(h.wait() for h in pending)
+        return concat_stack_rows(blocks_out)
 
     def _blocked_aggregation(self, f: list[np.ndarray]) -> list[np.ndarray]:
         """Sec. 5.2: per row-block SpMM + all-reduce, concatenated at the end.
@@ -342,7 +418,7 @@ class PlexusLayer:
         return [np.concatenate(blocks, axis=0) for blocks in out_blocks]
 
     # -- backward (Algorithm 2) --------------------------------------------------
-    def backward(self, dq, cache: LayerCache, w_pending=None):
+    def backward(self, dq, cache: LayerCache, w_pending=None, post_w_hook=None):
         """Returns ``(dF per rank or None, dW shard gradients per rank)``.
 
         For the first layer ``dF`` is the z-sub-sharded input-feature
@@ -350,13 +426,17 @@ class PlexusLayer:
         frozen; for other layers it is the full local block, all-reduced
         across the Z-parallel group (the Sec. 3.2 modification).
         ``w_pending`` is an optional prefetched W all-gather handle.
+        ``post_w_hook``, when given, runs right after the W gather's wait —
+        i.e. after this layer's last Z-link operation — which is where the
+        model issues the cross-epoch F prefetch on layer 0 so the gather
+        hides behind the remaining dH GEMM, all-reduce and epoch barrier.
         """
         if self.engine == "batched":
-            return self._backward_batched(dq, cache, w_pending)
-        return self._backward_perrank(dq, cache, w_pending)
+            return self._backward_batched(dq, cache, w_pending, post_w_hook)
+        return self._backward_perrank(dq, cache, w_pending, post_w_hook)
 
     def _backward_perrank(
-        self, dq: list[np.ndarray], cache: LayerCache, w_pending=None
+        self, dq: list[np.ndarray], cache: LayerCache, w_pending=None, post_w_hook=None
     ) -> tuple[list[np.ndarray] | None, list[np.ndarray]]:
         grid, roles = self.grid, self.roles
         world = grid.world_size
@@ -376,6 +456,8 @@ class PlexusLayer:
         if w_pending is None:
             w_pending = self.issue_w_gather()
         w_local = w_pending.wait()
+        if post_w_hook is not None:
+            post_w_hook()
         # Lines 5-6: dH = SGEMM(dQ, W^T); all-reduce across X-parallel group
         self.cluster.advance_all(self._t_gemm_dh, "comp:gemm_dh")
         dh_partial = batched_matmul(dq, [w.T for w in w_local])
@@ -393,8 +475,8 @@ class PlexusLayer:
         return df, dw
 
     def _backward_batched(
-        self, dq: np.ndarray, cache: LayerCache, w_pending=None
-    ) -> tuple[np.ndarray | None, np.ndarray]:
+        self, dq, cache: LayerCache, w_pending=None, post_w_hook=None
+    ) -> tuple[Any, Any]:
         grid, roles = self.grid, self.roles
         comm_x, comm_z = grid.comm(roles.x), grid.comm(roles.z)
         h = cache.h
@@ -402,29 +484,27 @@ class PlexusLayer:
             w_pending = self.issue_w_gather()
         self.cluster.advance_all(self._t_gemm_dw, "comp:gemm_dw")
         if self.tune_dw_gemm:
-            dw_partial = np.matmul(dq.transpose(0, 2, 1), h).transpose(0, 2, 1)
+            dw_partial = stack_transpose(stack_matmul(dq, h, ta=True))
         else:
-            dw_partial = np.matmul(h.transpose(0, 2, 1), dq)
+            dw_partial = stack_matmul(h, dq, ta=True)
         dw = comm_z.reduce_scatter(dw_partial, phase="reduce_scatter_dw").wait()
         if w_pending is None:
             w_pending = self.issue_w_gather()
         w_local = w_pending.wait()
+        if post_w_hook is not None:
+            post_w_hook()
         self.cluster.advance_all(self._t_gemm_dh, "comp:gemm_dh")
-        dh_partial = np.matmul(dq, w_local.transpose(0, 2, 1))
+        dh_partial = stack_matmul(dq, w_local, tb=True)
         dh = comm_x.all_reduce(dh_partial, phase="all_reduce_dh").wait()
         if self.is_first and not self.trainable_features:
             return None, dw
         self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
-        df_partial = self._bd_at.apply_stacked(dh)
+        df_partial = self._bd_at.apply_batched(dh)
         if self.is_first:
             df = comm_z.reduce_scatter(df_partial, phase="reduce_scatter_df").wait()
         else:
             df = comm_z.all_reduce(df_partial, phase="all_reduce_df").wait()
         return df, dw
-
-
-def _slen(s: slice) -> int:
-    return s.stop - s.start
 
 
 def _gemm_times(m: np.ndarray, n: np.ndarray, k: np.ndarray, device, mode: GemmMode) -> np.ndarray:

@@ -8,13 +8,17 @@ reference draws, so for any grid configuration the distributed computation
 is step-for-step comparable with :class:`repro.nn.serial.SerialGCN`
 (the Fig. 7 validation).
 
-The model owns the **engine selection**: with ``options.engine="auto"`` it
-runs the rank-batched engine (stacked ``(world, m, n)`` tensors, batched
-GEMMs/SpMMs, cube-reshaped axis collectives, one stacked optimizer)
-whenever every layer's sharding is uniform and aggregation is unblocked
-(SpMM noise is fine on either engine — its draws are vectorized per rank in
-rank order), and otherwise falls back to the per-rank reference loop.  Both
-engines produce bitwise-identical float64 numerics;
+The model owns the **engine selection**: the rank-batched engine (stacked
+``(world, m, n)`` tensors, batched GEMMs/SpMMs, cube-reshaped axis
+collectives, one stacked optimizer) is universal — every configuration is
+eligible.  Uniform (divisible) sharding uses plain ndarray stacks; ragged
+quasi-equal sharding uses zero-padded
+:class:`~repro.core.batch.PaddedStack` stacks whose valid-extent masks keep
+pad rows out of the math, the gathers and the byte accounting; blocked
+aggregation runs per-block stacked SpMM plans; SpMM noise draws are
+vectorized per rank in rank order.  ``options.engine="perrank"`` selects
+the per-rank reference loop, kept as the parity oracle — both engines
+produce bitwise-identical float64 numerics (clocks included);
 ``options.compute_dtype=np.float32`` selects the faster benchmark mode.  On
 the batched engine, per-rank accessors such as
 ``f0_shards``/``label_shards``/``w_shards`` remain available as views into
@@ -23,10 +27,14 @@ the stacks.
 With ``options.overlap=True`` the model drives the nonblocking collective
 schedules: each layer's W all-gather handle is issued at the end of the
 previous layer (forward) / previous backward step and waited where the
-consuming GEMM runs, and blocked aggregation keeps its per-block
-all-reduces in flight behind the next block's SpMM.  Losses and weights are
-bitwise independent of the schedule; only the simulated clocks (and hence
-the comm/comp breakdown) change.
+consuming GEMM runs, blocked aggregation keeps its per-block all-reduces in
+flight behind the next block's SpMM, and (unless ``prefetch_f0`` is off or
+input features are trainable) the layer-0 F all-gather is prefetched
+*across epochs* — issued at the end of the backward pass so the transfer
+rides behind the backward tail and the epoch barrier, waited at the top of
+the next epoch's forward.  Losses and weights are bitwise independent of
+the schedule; only the simulated clocks (and hence the comm/comp
+breakdown) change.
 """
 
 from __future__ import annotations
@@ -34,6 +42,14 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.batch import (
+    PaddedStack,
+    shard_views,
+    stack_data,
+    stack_map,
+    stack_mul,
+    stack_shards,
+)
 from repro.core.configs import PlexusOptions
 from repro.core.grid import GridConfig, PlexusGrid, axis_roles
 from repro.core.layers import LayerCache, PlexusLayer
@@ -108,15 +124,15 @@ class PlexusGCN:
             LayerSharding(config, axis_roles(i), n, layer_dims[i], layer_dims[i + 1])
             for i in range(n_layers)
         ]
-        uniform = all(s.is_uniform(self.grid) for s in self.shardings)
-        eligible = uniform and opts.aggregation_blocks == 1
-        if opts.engine == "batched" and not eligible:
-            raise ValueError(
-                "engine='batched' requires uniform (divisible) sharding and "
-                "aggregation_blocks=1; use engine='auto' to fall back "
-                "automatically"
-            )
-        self.engine = "batched" if (opts.engine == "batched" or (opts.engine == "auto" and eligible)) else "perrank"
+        # The batched engine is universal: uniform sharding runs on plain
+        # ndarray stacks, quasi-equal sharding on padded stacks, blocked
+        # aggregation on per-block stacked SpMM plans.  "perrank" survives
+        # as the explicitly requested parity oracle.
+        self.uniform = all(s.is_uniform(self.grid) for s in self.shardings)
+        self.engine = "perrank" if opts.engine == "perrank" else "batched"
+        # unconditional: a later model on the same cluster must not inherit
+        # an earlier model's bound (None restores the unbounded default)
+        cluster.store.max_inflight = opts.max_inflight
 
         # -- layer construction --------------------------------------------
         self._shard_cache: dict = {}
@@ -146,19 +162,23 @@ class PlexusGCN:
         f_in_global = features[self.scheme.input_perm()].astype(self.dtype)
         s0 = self.shardings[0]
         if self.engine == "batched":
-            self.f0_stack: np.ndarray | None = np.stack(
+            self.f0_stack: np.ndarray | PaddedStack | None = stack_shards(
                 [
                     f_in_global[s0.f_row_subslice_z(self.grid, r), s0.f_col_slice(self.grid, r)]
                     for r in range(self.grid.world_size)
                 ]
             )
-            self.f0_shards = list(self.f0_stack)
+            self.f0_shards = shard_views(self.f0_stack)
         else:
             self.f0_stack = None
             self.f0_shards = [
                 f_in_global[s0.f_row_subslice_z(self.grid, r), s0.f_col_slice(self.grid, r)].copy()
                 for r in range(self.grid.world_size)
             ]
+        #: in-flight cross-epoch prefetch of the layer-0 F all-gather
+        #: (issued at the end of backward under ``overlap``, consumed by the
+        #: next ``forward``)
+        self._f0_pending = None
 
         # -- label/mask shards aligned with the final output sharding --------
         out_perm = self.scheme.output_perm(n_layers)
@@ -174,8 +194,8 @@ class PlexusGCN:
             self.mask_shards.append(mask_out[rows].copy())
             self.class_slices.append(final.out_col_slice(self.grid, r))
         if self.engine == "batched":
-            self.label_stack: np.ndarray | None = np.stack(self.label_shards)
-            self.mask_stack: np.ndarray | None = np.stack(self.mask_shards)
+            self.label_stack: np.ndarray | PaddedStack | None = stack_shards(self.label_shards)
+            self.mask_stack: np.ndarray | PaddedStack | None = stack_shards(self.mask_shards)
             self.class_start: np.ndarray | None = np.asarray(
                 [s.start for s in self.class_slices], dtype=np.int64
             )
@@ -186,9 +206,11 @@ class PlexusGCN:
 
         # -- optimizers: one stacked Adam (batched) or one per rank ----------
         if self.engine == "batched":
-            params = {f"W{i}": layer.w_stack for i, layer in enumerate(self.layers)}
+            # padded stacks hand the optimizer their raw data: pad entries
+            # have zero gradients forever, so Adam leaves them at zero
+            params = {f"W{i}": stack_data(layer.w_stack) for i, layer in enumerate(self.layers)}
             if opts.trainable_features:
-                params["F0"] = self.f0_stack
+                params["F0"] = stack_data(self.f0_stack)
             self.optimizer: Adam | None = Adam(params, lr=opts.lr)
             self.optimizers: list[Adam] = []
         else:
@@ -208,8 +230,10 @@ class PlexusGCN:
     @property
     def n_unique_adjacency_shardsets(self) -> int:
         """Distinct adjacency shard sets held = min(3, L) x permutation
-        versions = min(6, L) for the double scheme (Sec. 5.1)."""
-        return len(self._shard_cache)
+        versions = min(6, L) for the double scheme (Sec. 5.1).  The cache
+        also holds per-aggregation-block plan entries; only shard-set
+        entries count here."""
+        return sum(1 for k in self._shard_cache if k[0] != "blocks")
 
     def memory_per_rank(self) -> list[int]:
         """Bytes of adjacency + weight + feature shards per rank (the memory
@@ -229,6 +253,17 @@ class PlexusGCN:
         return totals
 
     # -- forward / backward ------------------------------------------------------
+    def _f0_input(self):
+        return self.f0_stack if self.engine == "batched" else self.f0_shards
+
+    def prefetched_handles(self) -> tuple:
+        """Collective handles intentionally in flight across the epoch
+        boundary (the cross-epoch F prefetch) — the trainer exempts them
+        from its dropped-handle check."""
+        if self._f0_pending is None:
+            return ()
+        return self._f0_pending.handles()
+
     def forward(self):
         """Forward through all layers; returns per-rank logits and caches.
 
@@ -236,14 +271,22 @@ class PlexusGCN:
         ``(world, rows, classes)`` tensor on the batched engine — both
         indexable by rank.  With ``overlap=True`` the next layer's W
         all-gather is issued as each layer completes (the Sec. 5.2-style
-        prefetch) and waited inside that layer where the GEMM consumes it.
+        prefetch) and waited inside that layer where the GEMM consumes it;
+        a cross-epoch F prefetch issued by the previous ``backward`` is
+        consumed by layer 0 here.
         """
         overlap = self.options.overlap
-        acts = self.f0_stack if self.engine == "batched" else self.f0_shards
+        acts = self._f0_input()
+        f_pending, self._f0_pending = self._f0_pending, None
+        if f_pending is not None and not f_pending.live:
+            # a cluster reset orphaned the prefetch (its schedule belongs to
+            # the discarded timeline): drop it and gather eagerly
+            f_pending = None
         caches: list[LayerCache] = []
         w_pending = None
         for i, layer in enumerate(self.layers):
-            acts, cache = layer.forward(acts, w_pending=w_pending)
+            acts, cache = layer.forward(acts, w_pending=w_pending, f_pending=f_pending)
+            f_pending = None
             caches.append(cache)
             w_pending = (
                 self.layers[i + 1].issue_w_gather()
@@ -251,6 +294,30 @@ class PlexusGCN:
                 else None
             )
         return acts, caches
+
+    def _f0_prefetch_hook(self):
+        """The cross-epoch F prefetch issuer, or None when not applicable.
+
+        Handed to layer 0's backward, which invokes it right after its W
+        all-gather completes — the layer's last Z-link operation — so the
+        next epoch's F all-gather is issued while every rank still has the
+        dH GEMM, the dH all-reduce and the epoch barrier ahead of it: the
+        transfer hides behind that tail and the next forward's wait charges
+        only the uncovered remainder.  Only valid when the gathered data
+        cannot change before the next forward — i.e. input features are
+        frozen."""
+        if (
+            not self.options.overlap
+            or not self.options.prefetch_f0
+            or self.options.trainable_features
+        ):
+            return None
+
+        def issue() -> None:
+            if self._f0_pending is None:
+                self._f0_pending = self.layers[0].issue_f_gather(self._f0_input())
+
+        return issue
 
     def backward(self, d_logits, caches: list[LayerCache]):
         """Backward through all layers; returns gradients keyed like the
@@ -265,7 +332,8 @@ class PlexusGCN:
         dq = d_logits
         w_pending = None
         for i in range(self.n_layers - 1, -1, -1):
-            df, dw = self.layers[i].backward(dq, caches[i], w_pending=w_pending)
+            hook = self._f0_prefetch_hook() if i == 0 else None
+            df, dw = self.layers[i].backward(dq, caches[i], w_pending=w_pending, post_w_hook=hook)
             w_pending = self.layers[i - 1].issue_w_gather() if overlap and i > 0 else None
             for r in range(world):
                 grads[r][f"W{i}"] = dw[r]
@@ -277,19 +345,20 @@ class PlexusGCN:
                     grads[r]["F0"] = df[r]
         return grads
 
-    def _backward_batched(self, d_logits: np.ndarray, caches: list[LayerCache]) -> dict[str, np.ndarray]:
+    def _backward_batched(self, d_logits, caches: list[LayerCache]) -> dict[str, np.ndarray]:
         overlap = self.options.overlap
         grads: dict[str, np.ndarray] = {}
         dq = d_logits
         w_pending = None
         for i in range(self.n_layers - 1, -1, -1):
-            df, dw = self.layers[i].backward(dq, caches[i], w_pending=w_pending)
+            hook = self._f0_prefetch_hook() if i == 0 else None
+            df, dw = self.layers[i].backward(dq, caches[i], w_pending=w_pending, post_w_hook=hook)
             w_pending = self.layers[i - 1].issue_w_gather() if overlap and i > 0 else None
             grads[f"W{i}"] = dw
             if i > 0:
                 # chain rule through the previous layer's ReLU (Eq. 2.4),
                 # one elementwise product over the whole stacked grid
-                dq = df * relu_grad(caches[i - 1].q)
+                dq = stack_mul(df, stack_map(relu_grad, caches[i - 1].q))
             elif df is not None and self.options.trainable_features:
                 grads["F0"] = df
         return grads
@@ -298,7 +367,8 @@ class PlexusGCN:
         """Optimizer step: one stacked Adam over the rank axis (batched) or
         shard-local per-rank Adams — elementwise-identical updates, Fig. 7."""
         if self.engine == "batched":
-            self.optimizer.step(grads)
+            self.optimizer.step({k: stack_data(g) for k, g in grads.items()})
             return
         for r, opt in enumerate(self.optimizers):
             opt.step(grads[r])
+

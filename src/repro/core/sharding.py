@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.grid import Axis, AxisRoles, GridConfig, PlexusGrid
 from repro.sparse.partition import block_slices
 
@@ -97,13 +99,43 @@ class LayerSharding:
     def out_col_slice(self, grid: PlexusGrid, rank: int) -> slice:
         return _slice_for(self.d_out, self.gx, self._c(grid, rank, self.roles.x))
 
+    def extent_table(self, grid: PlexusGrid) -> dict[str, np.ndarray]:
+        """Per-rank shard extents as ``(world,)`` vectors.
+
+        Keys: ``a_rows`` (A/H/Q rows — the z-role block of N), ``a_cols``
+        (A cols = F rows — the x-role block of N), ``f_cols`` (F/H cols =
+        gathered-W rows — the y-role block of D_in) and ``w_cols`` (W/Q
+        cols — the x-role block of D_out).  These are the valid-extent
+        vectors behind the padded stacks' masks and the per-rank kernel-time
+        vectors; under quasi-equal sharding adjacent entries differ by at
+        most one.
+        """
+        world = grid.world_size
+        out = {
+            "a_rows": np.empty(world),
+            "a_cols": np.empty(world),
+            "f_cols": np.empty(world),
+            "w_cols": np.empty(world),
+        }
+        for r in range(world):
+            s = self.a_row_slice(grid, r)
+            out["a_rows"][r] = s.stop - s.start
+            s = self.a_col_slice(grid, r)
+            out["a_cols"][r] = s.stop - s.start
+            s = self.f_col_slice(grid, r)
+            out["f_cols"][r] = s.stop - s.start
+            s = self.w_col_slice(grid, r)
+            out["w_cols"][r] = s.stop - s.start
+        return out
+
     def is_uniform(self, grid: PlexusGrid) -> bool:
         """True when every rank's shard of every matrix has the same shape.
 
         Divisible (N, D_in, D_out, grid) combinations shard into identical
-        blocks, which is the precondition for the rank-batched execution
-        engine's single-stack fast path; quasi-equal shapes (differing by
-        one row/column) take the per-rank reference path instead.
+        blocks, and the rank-batched engine stores them as plain ndarray
+        stacks; quasi-equal shapes (differing by one row/column) are stored
+        as padded stacks with valid-extent masks instead — both run the
+        batched engine, this predicate only selects the representation.
         """
         world = grid.world_size
         for slicer in (

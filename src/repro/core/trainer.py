@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch import PaddedStack, stack_data
 from repro.core.grid import PlexusGrid
 from repro.core.model import PlexusGCN
 
@@ -40,9 +41,13 @@ def distributed_masked_ce(
     Returns the global scalar loss (identical on every rank) and the
     per-rank ``d loss / d logits`` shards that seed Algorithm 2.  Stacked
     ``(world, rows, classes)`` logits (the batched engine's output) take the
-    rank-vectorized path; a per-rank list takes the reference loop.  Both
-    produce bitwise-identical float64 results.
+    rank-vectorized path — padded stacks (quasi-equal sharding) the masked
+    variant whose reductions run on exact-extent groups; a per-rank list
+    takes the reference loop.  All produce bitwise-identical float64
+    results.
     """
+    if isinstance(logits, PaddedStack):
+        return _masked_ce_padded(model, logits)
     if isinstance(logits, np.ndarray) and logits.ndim == 3:
         return _masked_ce_batched(model, logits)
     grid: PlexusGrid = model.grid
@@ -154,6 +159,82 @@ def _masked_ce_batched(model: PlexusGCN, logits: np.ndarray) -> tuple[float, np.
     return loss, g
 
 
+def _masked_ce_padded(model: PlexusGCN, logits: PaddedStack) -> tuple[float, PaddedStack]:
+    """Masked cross-entropy over padded (quasi-equal) stacked logits.
+
+    Identical pipeline to :func:`_masked_ce_batched`, except every reduction
+    along a padded axis runs per exact-extent group (class columns grouped
+    by valid width, node rows by valid height), so pad entries never enter a
+    floating-point sum and results stay bitwise equal to the per-rank
+    reference.  Ranks owning zero class columns (more X-shards than
+    classes) contribute the same neutral values the reference produces.
+    """
+    grid: PlexusGrid = model.grid
+    roles = model.shardings[-1].roles
+    comm_x = grid.comm(roles.x)
+    comm_z = grid.comm(roles.z)
+    data = logits.data
+    rows, cols = logits.rows, logits.cols
+    world, max_rows, max_c = data.shape
+    lab = stack_data(model.label_stack)
+    msk = stack_data(model.mask_stack)
+    col_groups = [(int(c), np.flatnonzero(cols == c)) for c in np.unique(cols)]
+    row_groups = [(int(v), np.flatnonzero(rows == v)) for v in np.unique(rows)]
+
+    # 1) log-softmax statistics along the class (x-role) axis; ranks with no
+    # class columns report -inf row maxima exactly like the reference
+    rm_local = np.full((world, max_rows), -np.inf, dtype=data.dtype)
+    for c, idx in col_groups:
+        if c:
+            rm_local[idx] = data[idx, :, :c].max(axis=2)
+    rm = comm_x.all_reduce(PaddedStack(rm_local, rows), op="max", phase="loss_max").wait().data
+    se_local = np.zeros((world, max_rows), dtype=data.dtype)
+    for c, idx in col_groups:
+        if c:
+            se_local[idx] = np.exp(data[idx, :, :c] - rm[idx, :, None]).sum(axis=2)
+    sum_exp = comm_x.all_reduce(PaddedStack(se_local, rows), phase="loss_sumexp").wait().data
+
+    # 2) gather each masked node's own-label logit from the owning class shard
+    local_idx = lab - model.class_start[:, None]
+    owned = msk & (local_idx >= 0) & (local_idx < cols[:, None])
+    z_local = np.zeros((world, max_rows), dtype=data.dtype)
+    for c, idx in col_groups:
+        if c:
+            gi = np.clip(local_idx[idx], 0, c - 1)[:, :, None]
+            vals = np.take_along_axis(data[idx, :, :c], gi, axis=2)[:, :, 0]
+            z_local[idx] = np.where(owned[idx], vals, 0.0)
+    z_label = comm_x.all_reduce(PaddedStack(z_local, rows), phase="loss_zlabel").wait().data
+
+    # 3) masked sum + count along the row (z-role) axis, exact row extents
+    nll = rm + np.log(sum_exp) - z_label
+    masked_nll = np.where(msk, nll, 0.0)
+    packed = np.empty((world, 2), dtype=np.float64)
+    for v, idx in row_groups:
+        packed[idx, 0] = masked_nll[idx, :v].sum(axis=1)
+        packed[idx, 1] = msk[idx, :v].sum(axis=1)
+    totals = comm_z.all_reduce(packed, phase="loss_total").wait()
+    total_nll, total_cnt = totals[0, 0], totals[0, 1]
+    if total_cnt == 0:
+        raise ValueError("empty train mask")
+    loss = float(total_nll / total_cnt)
+
+    # 4) gradient shards: (softmax - onehot)/count on masked rows
+    log_s = np.log(sum_exp)
+    g = np.zeros((world, max_rows, max_c), dtype=data.dtype)
+    for c, idx in col_groups:
+        if not c:
+            continue
+        probs = np.exp(data[idx, :, :c] - rm[idx, :, None] - log_s[idx, :, None])
+        gb = probs * msk[idx, :, None]
+        gi = np.clip(local_idx[idx], 0, c - 1)[:, :, None]
+        vals = np.take_along_axis(gb, gi, axis=2) - owned[idx, :, None]
+        np.put_along_axis(gb, gi, vals.astype(gb.dtype, copy=False), axis=2)
+        g[idx, :, :c] = gb
+    g /= total_cnt
+    return loss, PaddedStack(g, rows, cols)
+
+
+
 def distributed_accuracy(model: PlexusGCN, logits: list[np.ndarray], mask_shards: list[np.ndarray]) -> float:
     """Fraction of masked nodes predicted correctly, computed distributed."""
     grid: PlexusGrid = model.grid
@@ -244,7 +325,8 @@ class PlexusTrainer:
         model.apply_gradients(grads)
         # a dropped (never-waited) collective handle means comm cost is
         # missing from the books — fail loudly before closing the epoch
-        cluster.check_outstanding()
+        # (the cross-epoch F prefetch is intentionally in flight: exempt)
+        cluster.check_outstanding(allowed=model.prefetched_handles())
         cluster.barrier(phase="comm:epoch_sync")
         t1 = cluster.max_clock()
         comm = float(np.mean(cluster.category_totals("comm:") - comm0))
@@ -277,13 +359,17 @@ class PlexusTrainer:
         ]
         # The SpMM noise sampler is stateful; snapshot it alongside the
         # clocks so an evaluation pass leaves the next epoch's draws (and
-        # hence its charged kernel times) untouched too.
+        # hence its charged kernel times) untouched too.  A cross-epoch F
+        # prefetch is stashed for the same reason: consuming it here would
+        # leave the next real epoch without its in-flight gather.
         noise = model.options.noise
         rng_state = noise._rng.bit_generator.state if noise is not None else None
+        f0_pending, model._f0_pending = model._f0_pending, None
         try:
             with model.cluster.no_charge():
                 logits, _ = model.forward()
                 return distributed_accuracy(model, logits, shards)
         finally:
+            model._f0_pending = f0_pending
             if noise is not None:
                 noise._rng.bit_generator.state = rng_state

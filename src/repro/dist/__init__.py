@@ -51,12 +51,15 @@ from repro.dist.comm import (
     axis_communicator,
     communicator,
 )
+from repro.dist.padded import PaddedStack, stack_shards
 
 __all__ = [
     "AxisCommunicator",
     "GroupCommunicator",
     "PendingCollective",
     "PendingMap",
+    "PaddedStack",
+    "stack_shards",
     "axis_communicator",
     "communicator",
     "MachineSpec",

@@ -84,6 +84,16 @@ class ClockStore:
       the link from ``max(group ready time, link free time)``, which is what
       serializes two in-flight operations on the same axis link — they queue
       behind each other instead of magically overlapping.
+    * ``max_inflight`` optionally bounds the queue depth per link: when set
+      (``PlexusOptions.max_inflight`` threads it here), each link also keeps
+      its in-flight completion times in ``link_queues``, and issuing on a
+      saturated link *blocks* — the issuing group's clocks are lifted to the
+      time a slot frees, with the wait charged to the collective's comm
+      phase.  The transfer schedule itself is unchanged (ops already queue
+      on the link); what saturation costs is the *overlap*: compute that
+      would have been issued behind the full queue can no longer start
+      early.  ``None`` (the default) keeps the historical unbounded queue
+      and records nothing.
     * ``outstanding`` registers every issued-but-not-yet-waited
       :class:`~repro.dist.comm.PendingCollective`; ``wait()`` deregisters.
       The trainer checks it at epoch end so a dropped handle (communication
@@ -91,7 +101,16 @@ class ClockStore:
       an error instead of a skewed breakdown.
     """
 
-    __slots__ = ("world", "clocks", "by_phase", "by_category", "links", "outstanding")
+    __slots__ = (
+        "world",
+        "clocks",
+        "by_phase",
+        "by_category",
+        "links",
+        "link_queues",
+        "max_inflight",
+        "outstanding",
+    )
 
     def __init__(self, world: int) -> None:
         self.world = world
@@ -100,6 +119,11 @@ class ClockStore:
         self.by_category: dict[str, np.ndarray] = {}
         #: link key -> busy-until time (scalar or keepdims cube array)
         self.links: dict[object, np.ndarray | float] = {}
+        #: link key -> ascending completion times of in-flight ops (only
+        #: maintained while ``max_inflight`` is set)
+        self.link_queues: dict[object, list[float]] = {}
+        #: bound on in-flight ops per link (None = unbounded, no tracking)
+        self.max_inflight: int | None = None
         #: id(handle) -> in-flight PendingCollective (issued, not yet waited)
         self.outstanding: dict[int, object] = {}
 
@@ -163,12 +187,21 @@ class ClockStore:
     def resolve_outstanding(self, handle) -> None:
         self.outstanding.pop(id(handle), None)
 
-    def check_no_outstanding(self) -> None:
-        """Raise if any issued collective handle was never ``wait()``-ed."""
-        if self.outstanding:
-            phases = ", ".join(sorted({h.phase for h in self.outstanding.values()}))
+    def check_no_outstanding(self, allowed: tuple = ()) -> None:
+        """Raise if any issued collective handle was never ``wait()``-ed.
+
+        ``allowed`` lists handles that are *intentionally* in flight across
+        the check (the trainer's cross-epoch prefetches): they are exempt,
+        everything else still fails loudly.
+        """
+        pending = self.outstanding
+        if allowed:
+            exempt = {id(h) for h in allowed}
+            pending = {k: h for k, h in pending.items() if k not in exempt}
+        if pending:
+            phases = ", ".join(sorted({h.phase for h in pending.values()}))
             raise RuntimeError(
-                f"{len(self.outstanding)} collective handle(s) issued but never "
+                f"{len(pending)} collective handle(s) issued but never "
                 f"waited: {phases}; every PendingCollective must be wait()-ed "
                 "before the epoch accounting closes"
             )
@@ -179,6 +212,7 @@ class ClockStore:
         self.by_phase.clear()
         self.by_category.clear()
         self.links.clear()
+        self.link_queues.clear()
         self.outstanding.clear()
 
     def snapshot(self) -> tuple:
@@ -187,11 +221,12 @@ class ClockStore:
             {k: v.copy() for k, v in self.by_phase.items()},
             {k: v.copy() for k, v in self.by_category.items()},
             {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in self.links.items()},
+            {k: list(v) for k, v in self.link_queues.items()},
             dict(self.outstanding),
         )
 
     def restore(self, snap: tuple) -> None:
-        clocks, by_phase, by_category, links, outstanding = snap
+        clocks, by_phase, by_category, links, link_queues, outstanding = snap
         self.clocks[:] = clocks
         self.by_phase.clear()
         self.by_phase.update(by_phase)
@@ -199,6 +234,8 @@ class ClockStore:
         self.by_category.update(by_category)
         self.links.clear()
         self.links.update(links)
+        self.link_queues.clear()
+        self.link_queues.update({k: list(v) for k, v in link_queues.items()})
         self.outstanding.clear()
         # reconcile rather than copy blindly: a handle that was waited
         # between snapshot and restore (e.g. consumed inside no_charge)
@@ -376,15 +413,16 @@ class VirtualCluster:
         """Zero every clock and timeline (between independent runs)."""
         self.store.reset()
 
-    def check_outstanding(self) -> None:
+    def check_outstanding(self, allowed: tuple = ()) -> None:
         """Raise if a collective handle was issued but never ``wait()``-ed.
 
         The trainer calls this at epoch end: a dropped
         :class:`~repro.dist.comm.PendingCollective` means communication was
         issued whose completion cost never reached the timeline, so the
-        epoch's comm/comp breakdown would silently under-report.
+        epoch's comm/comp breakdown would silently under-report.  Handles in
+        ``allowed`` (intentional cross-epoch prefetches) are exempt.
         """
-        self.store.check_no_outstanding()
+        self.store.check_no_outstanding(allowed)
 
     @contextmanager
     def no_charge(self):

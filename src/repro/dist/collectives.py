@@ -11,7 +11,9 @@ This module keeps two things:
    handle-based communicator API (:mod:`repro.dist.comm`) and wait
    immediately, which keeps their numerics — data, clocks and phase totals
    — bitwise identical to the historical eager behavior, and emit a
-   :class:`DeprecationWarning` **once per function**.  New code should use
+   :class:`DeprecationWarning` **once per function**.  The ``axis_*`` shims
+   forward :class:`~repro.dist.padded.PaddedStack` operands unchanged, so
+   legacy call sites keep working on padded quasi-equal stacks.  New code should use
    ``PlexusGrid.comm(axis)`` (an :class:`~repro.dist.comm.AxisCommunicator`)
    or :func:`repro.dist.comm.communicator` on a process group, whose methods
    return :class:`~repro.dist.comm.PendingCollective` handles: issue cost is

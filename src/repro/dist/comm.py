@@ -37,6 +37,24 @@ Misuse is loud: waiting a handle twice raises, and a handle that is never
 waited stays in ``ClockStore.outstanding`` where
 ``VirtualCluster.check_outstanding`` (called by the trainer at epoch end)
 reports it.
+
+Two orthogonal extensions ride on the same issue machinery:
+
+* **Padded quasi-equal stacks** — the stacked ``AxisCommunicator`` methods
+  accept a :class:`~repro.dist.padded.PaddedStack` (ragged per-rank shards
+  zero-padded to a common extent with ``rows``/``cols`` valid masks) and
+  return one.  Pad rows never reach the math: reductions run over the group
+  axis where pads align, gather/scatter results are assembled from valid
+  rows only via index plans cached per shape signature, and durations are
+  computed from the per-group *valid* bytes — so data, clocks and phase
+  totals stay bitwise identical to the group-wise ``map_*`` path on the
+  exact shards.  Durations become keepdims arrays over the off-axis cube
+  (one entry per group) instead of a scalar.
+* **Bounded in-flight ops per link** — when ``ClockStore.max_inflight`` is
+  set, each link tracks its in-flight completion times and an issue on a
+  saturated link blocks: the issuing group's clocks are lifted to the time
+  a slot frees (charged to the collective's comm phase).  Transfers still
+  queue exactly as before; saturation only costs the overlap.
 """
 
 from __future__ import annotations
@@ -57,6 +75,7 @@ from repro.dist.collectives import (
     ring_reduce_scatter_time,
 )
 from repro.dist.group import ProcessGroup
+from repro.dist.padded import PaddedStack
 from repro.sparse.partition import block_slices
 
 __all__ = [
@@ -64,6 +83,7 @@ __all__ = [
     "PendingMap",
     "GroupCommunicator",
     "AxisCommunicator",
+    "PaddedStack",
     "communicator",
     "axis_communicator",
 ]
@@ -99,6 +119,31 @@ def _moved(a: np.ndarray, src: int, dst: int) -> np.ndarray:
     axes = list(range(a.ndim))
     axes.insert(dst, axes.pop(src))
     return a.transpose(axes)
+
+
+def _wait_for_link_slot(
+    store: ClockStore, key, idx, ready: float, phase: str, limit: int
+) -> float:
+    """Block the issuing group until its link has a free in-flight slot.
+
+    Prunes ops completed by ``ready`` from the link's queue; if ``limit``
+    ops remain in flight, lifts the members in ``idx`` to the time the
+    oldest of them completes (charged to ``phase``) and returns it as the
+    new group-ready time.  Transfers themselves still serialize via the
+    ``links`` busy-until reservation — saturation only delays the *issue*.
+    """
+    q = store.link_queues.get(key)
+    if not q:
+        return ready
+    while q and q[0] <= ready:
+        q.pop(0)
+    if len(q) < limit:
+        return ready
+    t_free = q[len(q) - limit]
+    del q[: len(q) - limit + 1]
+    store.record_idx(idx, phase, t_free - store.clocks[idx])
+    store.clocks[idx] = t_free
+    return t_free
 
 
 # ---------------------------------------------------------------------------
@@ -146,6 +191,22 @@ class PendingCollective:
     @property
     def waited(self) -> bool:
         return self._waited
+
+    @property
+    def live(self) -> bool:
+        """True while the handle can still be waited meaningfully.
+
+        A store reset (``VirtualCluster.reset``) clears the outstanding
+        registry and zeroes the timeline, orphaning any in-flight handle:
+        its absolute begin/end timestamps belong to the discarded timeline.
+        Cost-free handles (singleton groups) are always live."""
+        if self._record is None or self._store is None:
+            return True
+        return not self._waited and id(self) in self._store.outstanding
+
+    def handles(self) -> tuple:
+        """The registered primitive handles behind this one (itself)."""
+        return (self,)
 
     def wait(self):
         """Charge the completion cost and return the collective's result."""
@@ -224,6 +285,14 @@ class PendingMap:
     def waited(self) -> bool:
         return self._waited
 
+    @property
+    def live(self) -> bool:
+        return all(h.live for h, _ in self._parts)
+
+    def handles(self) -> tuple:
+        """The per-group primitive handles (the registered ones)."""
+        return tuple(h for h, _ in self._parts)
+
     def wait(self) -> list:
         if self._waited:
             raise RuntimeError(
@@ -284,10 +353,15 @@ class GroupCommunicator:
                 store.record_idx(idx, full_phase, self.issue_overhead_s)
                 clocks = store.clocks[idx]
             ready = clocks.max()
+            limit = store.max_inflight
+            if limit is not None:
+                ready = _wait_for_link_slot(store, self._link_key, idx, ready, full_phase, limit)
             link = store.links.get(self._link_key)
             begin = ready if (link is None or link <= ready) else link
             end = begin + duration
             store.links[self._link_key] = end
+            if limit is not None:
+                store.link_queues.setdefault(self._link_key, []).append(float(end))
             record = ("idx", idx, begin, end, duration)
             return PendingCollective(full_phase, result, store, record)
         # Storeless fallback (duck-typed members sharing no ClockStore):
@@ -410,7 +484,14 @@ class AxisCommunicator:
     eager numerics bitwise unchanged).
     """
 
-    __slots__ = ("descriptor", "group_comms", "issue_overhead_s", "_link_key", "_group_link_keys")
+    __slots__ = (
+        "descriptor",
+        "group_comms",
+        "issue_overhead_s",
+        "_link_key",
+        "_group_link_keys",
+        "_padded_plans",
+    )
 
     def __init__(
         self,
@@ -422,6 +503,8 @@ class AxisCommunicator:
         self.group_comms: list[GroupCommunicator] = []
         self.issue_overhead_s = float(issue_overhead_s)
         self._link_key = next(_LINK_KEYS)
+        #: (kind, PaddedStack.signature()) -> cached padded-collective plan
+        self._padded_plans: dict[tuple, dict] = {}
         #: per-group link keys in keepdims-ravel order; once groups are
         #: attached, the stacked path reads/writes THESE (the same entries
         #: the map_* path uses), so stacked and group-wise operations on
@@ -467,7 +550,13 @@ class AxisCommunicator:
         self._group_link_keys = [k for _, k in ordered]
 
     # -- issue machinery -----------------------------------------------------
-    def _issue(self, duration: float, phase: str, result) -> PendingCollective:
+    def _issue(self, duration, phase: str, result) -> PendingCollective:
+        """Schedule one collective per axis group.
+
+        ``duration`` is a scalar (uniform stacks: every group moves the same
+        bytes) or a keepdims array over the off-axis cube (padded stacks:
+        per-group valid bytes differ under quasi-equal sharding).
+        """
         d = self.descriptor
         store = d.store
         links = store.links
@@ -478,7 +567,10 @@ class AxisCommunicator:
             store.record_all(full_phase, self.issue_overhead_s)
         ready = np.maximum.reduce(cube, axis=d.axis, keepdims=True)
         keys = self._group_link_keys
+        limit = store.max_inflight
         if keys is not None:
+            if limit is not None:
+                ready = self._wait_for_slots(store, keys, ready, cube, full_phase, limit)
             # the same per-group entries the map_* path reserves, so the
             # two paths serialize on one axis's physical links
             link = np.asarray([links.get(k, 0.0) for k in keys]).reshape(ready.shape)
@@ -486,13 +578,54 @@ class AxisCommunicator:
             end = begin + duration
             for k, v in zip(keys, end.ravel()):
                 links[k] = float(v)
+                if limit is not None:
+                    store.link_queues.setdefault(k, []).append(float(v))
         else:  # detached descriptor (no groups known): axis-level reservation
+            if limit is not None:
+                # synthetic per-group queue keys so the bound holds here too
+                dkeys = [(self._link_key, gi) for gi in range(ready.size)]
+                ready = self._wait_for_slots(store, dkeys, ready, cube, full_phase, limit)
             link = links.get(self._link_key)
             begin = ready if link is None else np.maximum(ready, link)
             end = begin + duration
             links[self._link_key] = end
+            if limit is not None:
+                for k, v in zip(dkeys, np.broadcast_to(end, ready.shape).ravel()):
+                    store.link_queues.setdefault(k, []).append(float(v))
         record = ("cube", d.cube, begin, end, duration)
         return PendingCollective(full_phase, result, store, record)
+
+    def _wait_for_slots(
+        self, store: ClockStore, keys, ready: np.ndarray, cube: np.ndarray, phase: str, limit: int
+    ) -> np.ndarray:
+        """Bounded-queue issue for every group at once.
+
+        Mirrors :func:`_wait_for_link_slot` per group: members of saturated
+        groups are lifted to the time their link frees a slot (charged to
+        ``phase``); other groups' clocks are untouched (zeros recorded), so
+        charges match the group-wise path bitwise.
+        """
+        rf = ready.ravel()
+        t_free = rf.copy()
+        blocked = False
+        for gi, k in enumerate(keys):
+            q = store.link_queues.get(k)
+            if not q:
+                continue
+            while q and q[0] <= rf[gi]:
+                q.pop(0)
+            if len(q) >= limit:
+                t_free[gi] = q[len(q) - limit]
+                del q[: len(q) - limit + 1]
+                blocked = True
+        if not blocked:
+            return ready
+        tf = t_free.reshape(ready.shape)
+        lift = tf > ready
+        wait = np.where(lift, tf - cube, 0.0)
+        np.copyto(cube, np.broadcast_to(tf, cube.shape), where=lift)
+        store.record_all(phase, wait.ravel())
+        return np.maximum(ready, tf)
 
     def _check_stacked(self, stacked: np.ndarray) -> None:
         if stacked.shape[0] != self.descriptor.world:
@@ -501,11 +634,181 @@ class AxisCommunicator:
                 f"expected world={self.descriptor.world}"
             )
 
+    # -- padded (quasi-equal) stack support ----------------------------------
+    def _group_table(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Reshape a per-rank vector to ``(n_groups, g)`` in member order.
+
+        Row order equals the keepdims ravel order (the order of
+        ``_group_link_keys`` and of the keepdims duration arrays); column
+        order is the member order along the axis — the shard order the
+        group-wise collectives use.
+        """
+        d = self.descriptor
+        table = np.moveaxis(values.reshape(d.cube), d.axis, -1).reshape(-1, d.size)
+        ranks = np.moveaxis(
+            np.arange(d.world).reshape(d.cube), d.axis, -1
+        ).reshape(-1, d.size)
+        return table, ranks
+
+    def _per_group_times(self, nbytes: np.ndarray, time_fn) -> np.ndarray:
+        """Per-group durations from per-group valid bytes.
+
+        Quasi-equal sharding yields only a handful of distinct byte counts,
+        so this calls the scalar Eq. 4.5 model once per distinct value —
+        bitwise the same numbers the group-wise path computes."""
+        d = self.descriptor
+        out = np.empty(nbytes.shape, dtype=np.float64)
+        for v in np.unique(nbytes):
+            out[nbytes == v] = time_fn(float(v), d.size, d.bandwidth, d.latency)
+        return out
+
+    def _padded_geometry(self, stacked: PaddedStack, kind: str) -> tuple:
+        """Per-group (rows table, member ranks, rep cols) with validation.
+
+        Reduce-style collectives need equal shard shapes within each group
+        (the same precondition the group-wise path enforces via
+        ``_stack_equal_shards``); gathers tolerate ragged rows but need
+        equal column extents (concatenation along axis 0)."""
+        rows_tab, ranks_tab = self._group_table(stacked.rows)
+        if kind != "all_gather" and np.any(rows_tab != rows_tab[:, :1]):
+            raise ValueError(f"{kind} requires equal shard rows within each axis group")
+        if stacked.cols is None:
+            cols_rep = None
+        else:
+            cols_tab, _ = self._group_table(stacked.cols)
+            if np.any(cols_tab != cols_tab[:, :1]):
+                raise ValueError(f"{kind} requires equal shard cols within each axis group")
+            cols_rep = cols_tab[:, 0]
+        return rows_tab, ranks_tab, cols_rep
+
+    def _padded_plan(self, kind: str, stacked: PaddedStack) -> dict:
+        key = (kind, stacked.signature())
+        plan = self._padded_plans.get(key)
+        if plan is not None:
+            return plan
+        d = self.descriptor
+        g = d.size
+        itemsize = stacked.data.dtype.itemsize
+        keep = list(d.cube)
+        keep[d.axis] = 1
+        keep_shape = tuple(keep)
+        rows_tab, ranks_tab, cols_rep = self._padded_geometry(stacked, kind)
+        colsize = itemsize if cols_rep is None else cols_rep * itemsize
+        max_in = stacked.data.shape[1]
+        if kind == "all_reduce":
+            nbytes = (rows_tab[:, 0] * colsize).astype(np.float64)
+            plan = {"duration": self._per_group_times(nbytes, ring_all_reduce_time).reshape(keep_shape)}
+        elif kind == "all_gather":
+            group_rows = rows_tab.sum(axis=1)
+            out_rows = np.empty(d.world, dtype=np.int64)
+            out_rows[ranks_tab] = group_rows[:, None]
+            max_out = int(group_rows.max(initial=0))
+            src_parts: list[np.ndarray] = []
+            dst_parts: list[np.ndarray] = []
+            for gi in range(ranks_tab.shape[0]):
+                src = np.concatenate(
+                    [m * max_in + np.arange(rr) for m, rr in zip(ranks_tab[gi], rows_tab[gi])]
+                )
+                span = np.arange(src.size)
+                for m in ranks_tab[gi]:
+                    src_parts.append(src)
+                    dst_parts.append(m * max_out + span)
+            nbytes = (group_rows * colsize).astype(np.float64)
+            plan = {
+                "duration": self._per_group_times(nbytes, ring_all_gather_time).reshape(keep_shape),
+                "out_rows": out_rows,
+                "max_out": max_out,
+                "src_idx": np.concatenate(src_parts),
+                "dst_idx": np.concatenate(dst_parts),
+            }
+        elif kind == "reduce_scatter":
+            out_rows = np.empty(d.world, dtype=np.int64)
+            blocks_per_group = []
+            for gi in range(ranks_tab.shape[0]):
+                blocks = block_slices(int(rows_tab[gi, 0]), g)
+                blocks_per_group.append(blocks)
+                for j, m in enumerate(ranks_tab[gi]):
+                    out_rows[m] = blocks[j].stop - blocks[j].start
+            max_out = int(out_rows.max(initial=0))
+            src_parts = []
+            dst_parts = []
+            for gi in range(ranks_tab.shape[0]):
+                for j, m in enumerate(ranks_tab[gi]):
+                    bl = blocks_per_group[gi][j]
+                    src_parts.append(gi * max_in + np.arange(bl.start, bl.stop))
+                    dst_parts.append(m * max_out + np.arange(bl.stop - bl.start))
+            nbytes = (rows_tab[:, 0] * colsize).astype(np.float64)
+            plan = {
+                "duration": self._per_group_times(nbytes, ring_reduce_scatter_time).reshape(keep_shape),
+                "out_rows": out_rows,
+                "max_out": max_out,
+                "src_idx": np.concatenate(src_parts),
+                "dst_idx": np.concatenate(dst_parts),
+            }
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown padded collective kind {kind!r}")
+        self._padded_plans[key] = plan
+        return plan
+
+    def _padded_all_reduce(self, stacked: PaddedStack, op: str, phase: str) -> PendingCollective:
+        d = self.descriptor
+        if d.size == 1:
+            return _ready("comm:" + phase, stacked)
+        plan = self._padded_plan("all_reduce", stacked)
+        data = stacked.data
+        tail = data.shape[1:]
+        cube = data.reshape(d.cube + tail)
+        reduced = _REDUCERS[op](cube, axis=d.axis)
+        out = np.empty(d.cube + tail, dtype=data.dtype)
+        out[...] = reduced[(slice(None),) * d.axis + (None,)]
+        result = PaddedStack(out.reshape((d.world,) + tail), stacked.rows, stacked.cols)
+        return self._issue(plan["duration"], phase, result)
+
+    def _padded_all_gather(self, stacked: PaddedStack, phase: str) -> PendingCollective:
+        d = self.descriptor
+        if d.size == 1:
+            return _ready("comm:" + phase, stacked)
+        plan = self._padded_plan("all_gather", stacked)
+        data = stacked.data
+        tail = data.shape[2:]
+        flat = data.reshape((d.world * data.shape[1],) + tail)
+        out = np.zeros((d.world * plan["max_out"],) + tail, dtype=data.dtype)
+        out[plan["dst_idx"]] = flat[plan["src_idx"]]
+        result = PaddedStack(
+            out.reshape((d.world, plan["max_out"]) + tail), plan["out_rows"], stacked.cols
+        )
+        return self._issue(plan["duration"], phase, result)
+
+    def _padded_reduce_scatter(self, stacked: PaddedStack, op: str, phase: str) -> PendingCollective:
+        d = self.descriptor
+        if d.size == 1:
+            return _ready("comm:" + phase, stacked)
+        plan = self._padded_plan("reduce_scatter", stacked)
+        data = stacked.data
+        tail = data.shape[2:]
+        cube = data.reshape(d.cube + data.shape[1:])
+        reduced = _REDUCERS[op](cube, axis=d.axis)
+        rflat = reduced.reshape((-1,) + tail)
+        out = np.zeros((d.world * plan["max_out"],) + tail, dtype=data.dtype)
+        out[plan["dst_idx"]] = rflat[plan["src_idx"]]
+        result = PaddedStack(
+            out.reshape((d.world, plan["max_out"]) + tail), plan["out_rows"], stacked.cols
+        )
+        return self._issue(plan["duration"], phase, result)
+
     # -- stacked collectives (rank-batched fast path) ------------------------
     def all_reduce(
-        self, stacked: np.ndarray, op: str = "sum", phase: str = "all_reduce"
+        self, stacked: np.ndarray | PaddedStack, op: str = "sum", phase: str = "all_reduce"
     ) -> PendingCollective:
-        """All-reduce ``stacked[(world, *shard)]`` within every axis group."""
+        """All-reduce ``stacked[(world, *shard)]`` within every axis group.
+
+        A :class:`PaddedStack` operand takes the masked path: reductions run
+        where pads align within each group, and durations bill only the
+        per-group valid bytes."""
+        if isinstance(stacked, PaddedStack):
+            self._check_stacked(stacked.data)
+            _check_op(op)
+            return self._padded_all_reduce(stacked, op, phase)
         self._check_stacked(stacked)
         _check_op(op)
         d = self.descriptor
@@ -521,10 +824,17 @@ class AxisCommunicator:
         t = ring_all_reduce_time(stacked[0].nbytes, g, d.bandwidth, d.latency)
         return self._issue(t, phase, result)
 
-    def all_gather(self, stacked: np.ndarray, phase: str = "all_gather") -> PendingCollective:
+    def all_gather(
+        self, stacked: np.ndarray | PaddedStack, phase: str = "all_gather"
+    ) -> PendingCollective:
         """All-gather along the shard row axis: every member of a group
         receives the group's shards concatenated (in member order) along
-        data axis 0."""
+        data axis 0.  A :class:`PaddedStack` operand may carry ragged row
+        extents (quasi-equal sub-sharding): the result is assembled from
+        valid rows only, pad rows never land in the gathered payload."""
+        if isinstance(stacked, PaddedStack):
+            self._check_stacked(stacked.data)
+            return self._padded_all_gather(stacked, phase)
         self._check_stacked(stacked)
         d = self.descriptor
         g = d.size
@@ -543,12 +853,17 @@ class AxisCommunicator:
         return self._issue(t, phase, result)
 
     def reduce_scatter(
-        self, stacked: np.ndarray, op: str = "sum", phase: str = "reduce_scatter"
+        self, stacked: np.ndarray | PaddedStack, op: str = "sum", phase: str = "reduce_scatter"
     ) -> PendingCollective:
-        """Reduce within every axis group, then scatter equal row blocks of
-        the result along data axis 0: the member at coordinate ``j`` gets
-        block ``j``.  Requires the row extent to divide evenly (the engine's
-        fast-path precondition; quasi-equal shapes take the ``map_*`` path)."""
+        """Reduce within every axis group, then scatter row blocks of the
+        result along data axis 0: the member at coordinate ``j`` gets block
+        ``j``.  A plain ndarray requires the row extent to divide evenly; a
+        :class:`PaddedStack` scatters quasi-equal blocks of each group's
+        valid rows (the result stack is padded to the largest block)."""
+        if isinstance(stacked, PaddedStack):
+            self._check_stacked(stacked.data)
+            _check_op(op)
+            return self._padded_reduce_scatter(stacked, op, phase)
         self._check_stacked(stacked)
         _check_op(op)
         d = self.descriptor
@@ -557,7 +872,10 @@ class AxisCommunicator:
             return _ready("comm:" + phase, stacked)
         m, tail = stacked.shape[1], stacked.shape[2:]
         if m % g != 0:
-            raise ValueError(f"row extent {m} not divisible by group size {g}")
+            # quasi-equal scatter: wrap as a fully-valid padded stack so the
+            # result carries the ragged block-row mask
+            wrapped = PaddedStack(stacked, np.full(stacked.shape[0], m, dtype=np.int64))
+            return self._padded_reduce_scatter(wrapped, op, phase)
         cube = stacked.reshape(d.cube + (m,) + tail)
         reduced = _REDUCERS[op](cube, axis=d.axis)
         mb = m // g

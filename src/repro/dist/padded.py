@@ -1,0 +1,168 @@
+"""Padded quasi-equal stacks: ragged per-rank shards as one dense tensor.
+
+Quasi-equal block sharding (``repro.sparse.partition.block_slices``) gives
+every rank a shard whose extents differ by at most one row/column from its
+neighbours' whenever a dimension does not divide the grid.  The rank-batched
+execution engine wants *one* ``(world, ...)`` tensor per logical matrix, so
+:class:`PaddedStack` stores the ragged shards zero-padded to the maximum
+extent, together with per-rank ``rows``/``cols`` valid-extent vectors — the
+mask the collectives and kernels use to keep the computation bitwise
+identical to the per-rank reference:
+
+* **pad entries are never part of the math** — reductions, sums and GEMMs
+  run on exact-extent slices grouped by shape (a handful of groups under
+  quasi-equal sharding), so the floating-point association order matches a
+  per-rank loop bit for bit;
+* **pad rows are sliced off before gathers land** — the padded collectives
+  in :mod:`repro.dist.comm` assemble gather/scatter results from valid rows
+  only, via index plans cached per shape signature;
+* **pad bytes are never billed** — collective durations are computed from
+  the per-group *valid* shard bytes, so the simulated clocks agree with the
+  per-rank engine's exactly.
+
+Pad entries are kept at (signed) zero so elementwise stages (ReLU, masks,
+optimizer updates with zero pad gradients) leave them inert.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PaddedStack", "stack_shards"]
+
+
+class PaddedStack:
+    """Ragged per-rank shards stored as one zero-padded leading-axis stack.
+
+    ``data`` is ``(world, max_rows)`` for vector shards or
+    ``(world, max_rows, max_cols)`` for matrix shards; ``rows`` (and, for
+    matrices, ``cols``) give each rank's valid extents.  ``stack[r]``
+    returns rank ``r``'s exact-shaped view, so code written against a list
+    of per-rank arrays works on a padded stack unchanged.
+    """
+
+    __slots__ = ("data", "rows", "cols")
+
+    def __init__(self, data: np.ndarray, rows: np.ndarray, cols: np.ndarray | None = None) -> None:
+        if data.ndim not in (2, 3):
+            raise ValueError(f"padded data must be 2-D or 3-D, got {data.ndim}-D")
+        if data.ndim == 2 and cols is not None:
+            raise ValueError("vector stacks (2-D data) take no cols vector")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.shape != (data.shape[0],):
+            raise ValueError(f"rows must be ({data.shape[0]},), got {rows.shape}")
+        if rows.size and rows.max(initial=0) > data.shape[1]:
+            raise ValueError("valid rows exceed the padded extent")
+        if data.ndim == 3:
+            if cols is None:
+                cols = np.full(data.shape[0], data.shape[2], dtype=np.int64)
+            else:
+                cols = np.asarray(cols, dtype=np.int64)
+                if cols.shape != (data.shape[0],):
+                    raise ValueError(f"cols must be ({data.shape[0]},), got {cols.shape}")
+                if cols.size and cols.max(initial=0) > data.shape[2]:
+                    raise ValueError("valid cols exceed the padded extent")
+        self.data = data
+        self.rows = rows
+        self.cols = cols
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def world(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def uniform(self) -> bool:
+        """True when no rank carries any padding."""
+        if np.any(self.rows != self.data.shape[1]):
+            return False
+        return self.cols is None or not np.any(self.cols != self.data.shape[2])
+
+    def signature(self) -> tuple:
+        """Hashable key of the stack's shape geometry (plan-cache key)."""
+        return (
+            self.data.shape,
+            self.data.dtype.itemsize,
+            self.rows.tobytes(),
+            None if self.cols is None else self.cols.tobytes(),
+        )
+
+    def valid_nbytes(self) -> np.ndarray:
+        """Per-rank bytes of the valid (unpadded) region — what the
+        collective cost models bill, never the pad bytes."""
+        elems = self.rows if self.cols is None else self.rows * self.cols
+        return elems.astype(np.float64) * self.data.dtype.itemsize
+
+    # -- per-rank access -----------------------------------------------------
+    def view(self, r: int) -> np.ndarray:
+        """Rank ``r``'s exact-shaped shard (a view into the stack)."""
+        if self.cols is None:
+            return self.data[r, : self.rows[r]]
+        return self.data[r, : self.rows[r], : self.cols[r]]
+
+    __getitem__ = view
+
+    def views(self) -> list[np.ndarray]:
+        return [self.view(r) for r in range(self.world)]
+
+    def __len__(self) -> int:
+        return self.world
+
+    def __iter__(self):
+        return iter(self.views())
+
+    # -- derived stacks ------------------------------------------------------
+    def transpose(self) -> "PaddedStack":
+        """Per-rank transpose: swaps the row/col extents (data is a view)."""
+        if self.data.ndim != 3:
+            raise ValueError("transpose requires matrix shards")
+        return PaddedStack(self.data.transpose(0, 2, 1), self.cols, self.rows)
+
+    def with_data(self, data: np.ndarray) -> "PaddedStack":
+        """Same geometry, new payload (elementwise-op results)."""
+        if data.shape != self.data.shape:
+            raise ValueError(f"shape {data.shape} != stack shape {self.data.shape}")
+        return PaddedStack(data, self.rows, self.cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PaddedStack(shape={self.data.shape}, rows={self.rows}, cols={self.cols})"
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_shards(cls, shards: Sequence[np.ndarray]) -> "PaddedStack":
+        """Zero-pad ragged per-rank shards into one stack."""
+        if not shards:
+            raise ValueError("need at least one shard")
+        ndim = shards[0].ndim
+        if ndim not in (1, 2) or any(s.ndim != ndim for s in shards):
+            raise ValueError("shards must be all 1-D or all 2-D")
+        world = len(shards)
+        rows = np.asarray([s.shape[0] for s in shards], dtype=np.int64)
+        if ndim == 1:
+            data = np.zeros((world, int(rows.max(initial=0))), dtype=shards[0].dtype)
+            for r, s in enumerate(shards):
+                data[r, : rows[r]] = s
+            return cls(data, rows)
+        cols = np.asarray([s.shape[1] for s in shards], dtype=np.int64)
+        data = np.zeros(
+            (world, int(rows.max(initial=0)), int(cols.max(initial=0))), dtype=shards[0].dtype
+        )
+        for r, s in enumerate(shards):
+            data[r, : rows[r], : cols[r]] = s
+        return cls(data, rows, cols)
+
+
+def stack_shards(shards: Sequence[np.ndarray]) -> np.ndarray | PaddedStack:
+    """Stack per-rank shards: a plain ``np.stack`` when shapes are uniform
+    (the divisible fast path, unchanged numerics), a :class:`PaddedStack`
+    when quasi-equal sharding left them ragged."""
+    first = shards[0].shape
+    if all(s.shape == first for s in shards[1:]):
+        return np.stack(shards)
+    return PaddedStack.from_shards(shards)

@@ -3,11 +3,17 @@
 The batched engine reorganizes every hot-path operation (stacked GEMMs,
 block-diagonal SpMM, cube-reshaped axis collectives, stacked Adam) but must
 not change a single bit of the float64 computation — the per-rank loop is
-the pre-refactor reference and Fig. 7's serial-parity oracle sits on top of
-it.  These tests train the same model under both engines on random grids up
-to X3Y2Z2 and assert bitwise equality of losses, weights and even the
+the reference oracle and Fig. 7's serial-parity check sits on top of it.
+These tests train the same model under both engines on random grids up to
+X3Y2Z2 and assert bitwise equality of losses, weights and even the
 simulated rank clocks; in float32 mode (the benchmark dtype) agreement is
 atol-bounded instead.
+
+The batched engine is *universal*: divisible sharding runs on plain ndarray
+stacks, indivisible (quasi-equal / ragged) sharding on zero-padded masked
+stacks, and blocked aggregation on per-block stacked SpMM plans — the
+padded/blocked hypothesis suites below assert the same bitwise parity for
+those configurations, eager and ``overlap=True`` alike.
 """
 
 import numpy as np
@@ -16,14 +22,21 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import GridConfig, PlexusGCN, PlexusOptions, PlexusTrainer, SpmmNoise
-from repro.core.batch import BlockDiagSpmm, batched_matmul
+from repro.core.batch import (
+    BlockDiagSpmm,
+    PaddedStack,
+    batched_matmul,
+    concat_stack_rows,
+    stack_matmul,
+    stack_shards,
+)
 from repro.dist import PERLMUTTER, VirtualCluster
 from repro.graph.features import degree_labels, random_split_masks, synth_features
 from repro.graph.generators import rmat_graph
 from repro.sparse.ops import gcn_normalize, random_sparse
 
 #: divisible by every axis size (1..3) and every pairwise axis product of
-#: the grids below, so the batched engine is always eligible
+#: the grids below, so the uniform single-stack fast path engages
 N_NODES = 72
 DIMS = [24, 24, 12]
 
@@ -119,24 +132,31 @@ class TestEngineParity:
 
 
 class TestEngineSelection:
+    """The batched engine is universal: auto selects it for *every*
+    configuration; the per-rank loop runs only on explicit request."""
+
     def test_auto_prefers_batched_on_divisible(self):
         a, feats, labels, mask = _dataset(0)
         m, _, _ = _train(a, feats, labels, mask, GRIDS[0], "auto", epochs=1)
         assert m.engine == "batched"
+        assert m.uniform
 
-    def test_auto_falls_back_on_indivisible_dims(self):
+    def test_auto_batched_on_indivisible_dims(self):
+        """Indivisible hidden dim: auto still picks batched (padded stacks)."""
         a, feats, labels, mask = _dataset(0)
         cluster = VirtualCluster(12, PERLMUTTER)
         model = PlexusGCN(
             cluster, GRIDS[0], a, feats, labels, mask, [DIMS[0], 13, DIMS[-1]],
             PlexusOptions(seed=0, engine="auto"),
         )
-        assert model.engine == "perrank"
+        assert model.engine == "batched"
+        assert not model.uniform
 
-    def test_auto_falls_back_on_blocked_aggregation(self):
+    def test_auto_batched_on_blocked_aggregation(self):
+        """Blocked aggregation: auto still picks batched (per-block plans)."""
         a, feats, labels, mask = _dataset(0)
         m, _, _ = _train(a, feats, labels, mask, GRIDS[1], "auto", epochs=1, aggregation_blocks=3)
-        assert m.engine == "perrank"
+        assert m.engine == "batched"
 
     def test_noise_no_longer_forces_perrank(self):
         """The vectorized sampler draws per rank in rank order, so noisy
@@ -146,14 +166,136 @@ class TestEngineSelection:
                          noise=SpmmNoise(threshold_nnz=1))
         assert m.engine == "batched"
 
-    def test_batched_raises_when_ineligible(self):
+    def test_explicit_batched_works_on_formerly_ineligible_config(self):
+        """engine='batched' no longer raises on indivisible dims: it runs
+        the padded stacks and matches the per-rank oracle bitwise."""
         a, feats, labels, mask = _dataset(0)
-        cluster = VirtualCluster(12, PERLMUTTER)
-        with pytest.raises(ValueError, match="batched"):
-            PlexusGCN(
-                cluster, GRIDS[0], a, feats, labels, mask, [DIMS[0], 13, DIMS[-1]],
-                PlexusOptions(seed=0, engine="batched"),
-            )
+        dims = [DIMS[0], 13, DIMS[-1]]
+        rb = _train_dims(a, feats, labels, mask, GRIDS[0], dims, "batched")
+        rp = _train_dims(a, feats, labels, mask, GRIDS[0], dims, "perrank")
+        assert rb[1].losses == rp[1].losses
+        assert np.array_equal(rb[2].clocks, rp[2].clocks)
+
+    def test_perrank_still_selectable(self):
+        a, feats, labels, mask = _dataset(0)
+        m, _, _ = _train(a, feats, labels, mask, GRIDS[0], "perrank", epochs=1)
+        assert m.engine == "perrank"
+
+
+def _train_dims(a, feats, labels, mask, cfg, dims, engine, epochs=3, **opts):
+    cluster = VirtualCluster(cfg.total, PERLMUTTER)
+    model = PlexusGCN(
+        cluster, cfg, a, feats, labels, mask, dims,
+        PlexusOptions(seed=0, engine=engine, **opts),
+    )
+    result = PlexusTrainer(model).train(epochs)
+    return model, result, cluster
+
+
+def _assert_bitwise(cfg, dims, mb, rb, cb, mp, rp, cp):
+    assert mb.engine == "batched" and mp.engine == "perrank"
+    assert rb.losses == rp.losses
+    for i in range(len(dims) - 1):
+        for r in range(cfg.total):
+            assert np.array_equal(mb.layers[i].w_shards[r], mp.layers[i].w_shards[r])
+    assert np.array_equal(cb.clocks, cp.clocks)
+    assert np.array_equal(cb.category_totals("comm:"), cp.category_totals("comm:"))
+    assert np.array_equal(cb.category_totals("comp:"), cp.category_totals("comp:"))
+
+
+class TestPaddedParity:
+    """Indivisible (quasi-equal) sharding: the padded batched engine must be
+    bitwise identical to the per-rank oracle — losses, weights, per-rank
+    clocks and phase totals, eager and overlapped."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        grid_idx=st.integers(0, len(GRIDS) - 1),
+        n_nodes=st.sampled_from([70, 71, 73]),
+        d_hidden=st.sampled_from([23, 25]),
+        seed=st.integers(0, 20),
+        overlap=st.booleans(),
+    )
+    def test_float64_bitwise_ragged(self, grid_idx, n_nodes, d_hidden, seed, overlap):
+        cfg = GRIDS[grid_idx]
+        dims = [25, d_hidden, 11]
+        a = gcn_normalize(rmat_graph(n_nodes, avg_degree=6, seed=seed))
+        feats = synth_features(n_nodes, dims[0], seed + 1)
+        labels = degree_labels(a, dims[-1], seed + 2)
+        mask, _, _ = random_split_masks(n_nodes, seed + 3)
+        mb, rb, cb = _train_dims(a, feats, labels, mask, cfg, dims, "batched", overlap=overlap)
+        mp, rp, cp = _train_dims(a, feats, labels, mask, cfg, dims, "perrank", overlap=overlap)
+        _assert_bitwise(cfg, dims, mb, rb, cb, mp, rp, cp)
+
+    def test_zero_class_columns(self):
+        """More X-shards than classes: some ranks own zero logit columns."""
+        cfg = GridConfig(5, 1, 2)
+        dims = [24, 16, 3]
+        n = 70
+        a = gcn_normalize(rmat_graph(n, avg_degree=6, seed=1))
+        feats = synth_features(n, dims[0], 2)
+        labels = degree_labels(a, dims[-1], 3)
+        mask, _, _ = random_split_masks(n, 4)
+        mb, rb, cb = _train_dims(a, feats, labels, mask, cfg, dims, "batched")
+        mp, rp, cp = _train_dims(a, feats, labels, mask, cfg, dims, "perrank")
+        _assert_bitwise(cfg, dims, mb, rb, cb, mp, rp, cp)
+
+    def test_trainable_features_ragged(self):
+        cfg = GRIDS[0]
+        dims = [25, 23, 11]
+        n = 70
+        a = gcn_normalize(rmat_graph(n, avg_degree=6, seed=5))
+        feats = synth_features(n, dims[0], 6)
+        labels = degree_labels(a, dims[-1], 7)
+        mask, _, _ = random_split_masks(n, 8)
+        mb, rb, _ = _train_dims(a, feats, labels, mask, cfg, dims, "batched",
+                                trainable_features=True)
+        mp, rp, _ = _train_dims(a, feats, labels, mask, cfg, dims, "perrank",
+                                trainable_features=True)
+        assert rb.losses == rp.losses
+        for r in range(cfg.total):
+            assert np.array_equal(mb.f0_shards[r], mp.f0_shards[r])
+
+    def test_noisy_ragged_bitwise(self):
+        cfg = GRIDS[0]
+        dims = [25, 23, 11]
+        n = 70
+        a = gcn_normalize(rmat_graph(n, avg_degree=6, seed=9))
+        feats = synth_features(n, dims[0], 10)
+        labels = degree_labels(a, dims[-1], 11)
+        mask, _, _ = random_split_masks(n, 12)
+        mb, rb, cb = _train_dims(a, feats, labels, mask, cfg, dims, "batched",
+                                 noise=SpmmNoise(threshold_nnz=1, sigma=0.5, seed=11))
+        mp, rp, cp = _train_dims(a, feats, labels, mask, cfg, dims, "perrank",
+                                 noise=SpmmNoise(threshold_nnz=1, sigma=0.5, seed=11))
+        _assert_bitwise(cfg, dims, mb, rb, cb, mp, rp, cp)
+
+
+class TestBlockedAggregationParity:
+    """Blocked aggregation on the batched engine (per-block stacked SpMM
+    plans) vs the per-rank oracle: bitwise, eager and overlapped, uniform
+    and ragged sharding."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        blocks=st.integers(2, 5),
+        overlap=st.booleans(),
+        ragged=st.booleans(),
+        seed=st.integers(0, 20),
+    )
+    def test_blocked_bitwise(self, blocks, overlap, ragged, seed):
+        cfg = GRIDS[0]
+        n = 70 if ragged else N_NODES
+        dims = [25, 23, 11] if ragged else DIMS
+        a = gcn_normalize(rmat_graph(n, avg_degree=6, seed=seed))
+        feats = synth_features(n, dims[0], seed + 1)
+        labels = degree_labels(a, dims[-1], seed + 2)
+        mask, _, _ = random_split_masks(n, seed + 3)
+        mb, rb, cb = _train_dims(a, feats, labels, mask, cfg, dims, "batched",
+                                 aggregation_blocks=blocks, overlap=overlap)
+        mp, rp, cp = _train_dims(a, feats, labels, mask, cfg, dims, "perrank",
+                                 aggregation_blocks=blocks, overlap=overlap)
+        _assert_bitwise(cfg, dims, mb, rb, cb, mp, rp, cp)
 
 
 class TestBatchPrimitives:
@@ -186,3 +328,64 @@ class TestBatchPrimitives:
         f = rng.standard_normal((4, 5, 2))
         with pytest.raises(ValueError, match="uniform"):
             BlockDiagSpmm(shards).apply_stacked(f)
+
+    def test_block_diag_spmm_padded(self, rng):
+        """Ragged A rows *and* ragged F cols through one padded plan."""
+        ks = [4 + (r % 2) for r in range(6)]
+        shards = [random_sparse(3 + (r % 3), ks[r], 0.4, rng) for r in range(6)]
+        f_list = [rng.standard_normal((ks[r], 2 + (r % 2))) for r in range(6)]
+        out = BlockDiagSpmm(shards).apply_padded(PaddedStack.from_shards(f_list))
+        assert isinstance(out, PaddedStack)
+        for r in range(6):
+            assert np.array_equal(out[r], np.asarray(shards[r] @ f_list[r]))
+        # pad rows of the output stay exact zeros
+        for r in range(6):
+            assert not out.data[r, out.rows[r]:, :].any()
+
+    def test_block_diag_apply_batched_wraps_uniform_operand(self, rng):
+        """Uniform dense stack against ragged A shards: the output comes
+        back as a padded stack with the ragged row mask."""
+        shards = [random_sparse(3 + (r % 2), 5, 0.4, rng) for r in range(4)]
+        f = rng.standard_normal((4, 5, 2))
+        out = BlockDiagSpmm(shards).apply_batched(f)
+        assert isinstance(out, PaddedStack)
+        for r in range(4):
+            assert np.array_equal(out[r], np.asarray(shards[r] @ f[r]))
+
+    def test_stack_matmul_matches_batched_matmul_bitwise(self, rng):
+        """The padded GEMM groups by exact shape like batched_matmul, so the
+        results (incl. transposed operand layouts) are bitwise identical."""
+        a_list = [rng.standard_normal((3 + (r % 2), 4)) for r in range(6)]
+        b_list = [rng.standard_normal((4, 2 + (r % 3))) for r in range(6)]
+        out = stack_matmul(PaddedStack.from_shards(a_list), PaddedStack.from_shards(b_list))
+        ref = batched_matmul(a_list, b_list)
+        for r in range(6):
+            assert np.array_equal(out[r], ref[r])
+        # transposed-a form (the grad-W kernel)
+        out_t = stack_matmul(
+            PaddedStack.from_shards(a_list).transpose(), PaddedStack.from_shards(b_list),
+            ta=True,
+        )
+        ref_t = batched_matmul(a_list, b_list)
+        for r in range(6):
+            assert np.array_equal(out_t[r], ref_t[r])
+
+    def test_stack_shards_picks_representation(self, rng):
+        uniform = [rng.standard_normal((3, 4)) for _ in range(4)]
+        assert isinstance(stack_shards(uniform), np.ndarray)
+        ragged = [rng.standard_normal((3 + (r % 2), 4)) for r in range(4)]
+        stacked = stack_shards(ragged)
+        assert isinstance(stacked, PaddedStack)
+        for r in range(4):
+            assert np.array_equal(stacked[r], ragged[r])
+
+    def test_concat_stack_rows_padded(self, rng):
+        parts = []
+        for b in range(3):
+            parts.append(PaddedStack.from_shards(
+                [rng.standard_normal((1 + ((r + b) % 2), 3)) for r in range(4)]
+            ))
+        out = concat_stack_rows(parts)
+        for r in range(4):
+            ref = np.concatenate([p[r] for p in parts], axis=0)
+            assert np.array_equal(out[r], ref)

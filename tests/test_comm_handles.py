@@ -23,6 +23,7 @@ from repro.core import Axis, GridConfig, PlexusGCN, PlexusOptions, PlexusTrainer
 from repro.dist import (
     LAPTOP,
     PERLMUTTER,
+    PaddedStack,
     ProcessGroup,
     VirtualCluster,
     communicator,
@@ -266,6 +267,255 @@ class TestDeprecationShims:
         out2 = communicator(_group(cluster2, range(4))).all_reduce(shards).wait()
         assert np.array_equal(out1[0], out2[0])
         assert np.array_equal(cluster1.clocks, cluster2.clocks)
+
+    def test_axis_shims_forward_padded_stacks(self, rng):
+        """Regression: the deprecated ``axis_*`` shims still work on padded
+        quasi-equal stacks — they forward the operand to the communicator
+        path unchanged and keep their warn-once behavior."""
+        from repro.core.grid import PlexusGrid
+
+        cfg = GridConfig(2, 1, 2)
+        # ragged rows keyed by the off-X coords (equal within each X group)
+        shards = [
+            rng.standard_normal((3 + (r // 2) % 2, 2)) for r in range(cfg.total)
+        ]
+        padded = PaddedStack.from_shards(shards)
+
+        cluster1 = VirtualCluster(cfg.total, PERLMUTTER)
+        grid1 = PlexusGrid(cluster1, cfg)
+        collectives._DEPRECATED_WARNED.discard("axis_all_reduce")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out1 = collectives.axis_all_reduce(grid1.axis_comm(Axis.X), padded)
+            collectives.axis_all_reduce(grid1.axis_comm(Axis.X), padded)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+        cluster2 = VirtualCluster(cfg.total, PERLMUTTER)
+        grid2 = PlexusGrid(cluster2, cfg)
+        ref = grid2.comm(Axis.X).map_all_reduce(shards).wait()
+        assert isinstance(out1, PaddedStack)
+        for r in range(cfg.total):
+            assert np.array_equal(out1[r], ref[r])
+
+    def test_axis_gather_scatter_shims_forward_padded(self, rng):
+        from repro.core.grid import PlexusGrid
+
+        cfg = GridConfig(1, 2, 2)
+        shards = [rng.standard_normal((2 + r % 2, 3)) for r in range(cfg.total)]
+        padded = PaddedStack.from_shards(shards)
+        cluster = VirtualCluster(cfg.total, PERLMUTTER)
+        grid = PlexusGrid(cluster, cfg)
+        gathered = collectives.axis_all_gather(grid.axis_comm(Axis.Z), padded)
+        cluster2 = VirtualCluster(cfg.total, PERLMUTTER)
+        grid2 = PlexusGrid(cluster2, cfg)
+        ref = grid2.comm(Axis.Z).map_all_gather(shards, axis=0).wait()
+        for r in range(cfg.total):
+            assert np.array_equal(gathered[r], ref[r])
+
+
+class TestBoundedInflight:
+    """``max_inflight`` bounds the queue depth per link: issuing on a
+    saturated link blocks (charges wait) until a slot frees."""
+
+    def _issue_chain(self, limit, n_ops, overlap_compute=0.0):
+        rng = np.random.default_rng(0)
+        cluster = VirtualCluster(2, LAPTOP)
+        cluster.store.max_inflight = limit
+        comm = communicator(_group(cluster, range(2)))
+        shards = [rng.standard_normal((256, 64)) for _ in range(2)]
+        handles = [comm.all_reduce(shards) for _ in range(n_ops)]
+        issue_clock = cluster.max_clock()
+        for h in handles:
+            h.wait()
+        return issue_clock, cluster
+
+    def test_unbounded_issue_charges_nothing(self):
+        issue_clock, _ = self._issue_chain(None, 3)
+        assert issue_clock == 0.0
+
+    def test_saturated_link_blocks_at_issue(self):
+        """With limit 1, the second back-to-back issue must wait for the
+        first transfer to complete — clocks advance at issue time."""
+        issue_clock, cluster = self._issue_chain(1, 3)
+        assert issue_clock > 0.0
+        # the wait is charged as communication
+        assert float(cluster.category_totals("comm:").min()) > 0.0
+
+    def test_final_clocks_match_unbounded_without_overlap(self):
+        """Issue-then-wait-all: the transfers serialize on the link either
+        way, so the bound only moves charges to issue time — the total
+        wall clock is identical when no compute hides behind the queue."""
+        _, bounded = self._issue_chain(1, 3)
+        _, unbounded = self._issue_chain(None, 3)
+        assert bounded.max_clock() == unbounded.max_clock()
+
+    def test_deeper_limit_admits_more_inflight(self):
+        issue2, _ = self._issue_chain(2, 3)
+        issue1, _ = self._issue_chain(1, 3)
+        assert issue2 < issue1
+
+    def test_overlap_lost_when_queue_saturated(self):
+        """Compute issued behind a full queue can no longer hide the
+        transfers: the bounded run's wall clock is strictly worse."""
+        rng = np.random.default_rng(1)
+        shards = [rng.standard_normal((256, 64)) for _ in range(2)]
+
+        def run(limit):
+            cluster = VirtualCluster(2, LAPTOP)
+            cluster.store.max_inflight = limit
+            comm = communicator(_group(cluster, range(2)))
+            handles = [comm.all_reduce(shards) for _ in range(4)]
+            # compute that would have been overlapped with the queue
+            cluster.advance_all(1.0, "comp:work")
+            for h in handles:
+                h.wait()
+            return cluster.max_clock()
+
+        assert run(1) > run(None)
+
+    def test_detached_axis_communicator_enforces_limit(self, rng):
+        """The bound also holds on a detached (group-less) axis communicator
+        — the path the deprecated ``axis_*`` shims take."""
+        from repro.core.grid import PlexusGrid
+        from repro.dist.comm import axis_communicator
+
+        cfg = GridConfig(2, 2, 1)
+
+        def issue_clock(limit):
+            cluster = VirtualCluster(cfg.total, PERLMUTTER)
+            cluster.store.max_inflight = limit
+            grid = PlexusGrid(cluster, cfg)
+            comm = axis_communicator(grid.axis_comm(Axis.X))
+            stacked = rng.standard_normal((cfg.total, 512, 64))
+            handles = [comm.all_reduce(stacked) for _ in range(3)]
+            clock = cluster.max_clock()
+            for h in handles:
+                h.wait()
+            return clock
+
+        assert issue_clock(None) == 0.0
+        assert issue_clock(1) > 0.0
+
+    def test_engine_parity_with_limit(self):
+        """Both engines enforce the same bound: losses and clocks bitwise."""
+        mb, rb, cb, _ = _train(GridConfig(2, 2, 2), overlap=True, engine="batched",
+                               aggregation_blocks=4, max_inflight=1)
+        mp, rp, cp, _ = _train(GridConfig(2, 2, 2), overlap=True, engine="perrank",
+                               aggregation_blocks=4, max_inflight=1)
+        assert rb.losses == rp.losses
+        assert np.array_equal(cb.clocks, cp.clocks)
+
+    def test_eager_schedule_unaffected_by_limit(self):
+        """Issue-then-wait leaves at most one op in flight, so a bound of 1
+        changes nothing on the eager schedule."""
+        _, r1, c1, w1 = _train(GridConfig(2, 2, 2), overlap=False, max_inflight=1)
+        _, r2, c2, w2 = _train(GridConfig(2, 2, 2), overlap=False)
+        assert r1.losses == r2.losses
+        assert np.array_equal(c1.clocks, c2.clocks)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            PlexusOptions(max_inflight=0)
+
+
+class TestCrossEpochPrefetch:
+    """The layer-0 F all-gather prefetch (overlap=True): same numerics,
+    strictly less visible communication."""
+
+    def _run(self, prefetch, engine="batched", epochs=4, **opts):
+        return _train(GridConfig(3, 2, 2), overlap=True, engine=engine,
+                      prefetch_f0=prefetch, epochs=epochs, **opts)
+
+    def test_numerics_bitwise_with_prefetch(self):
+        m1, r1, c1, w1 = self._run(True)
+        m2, r2, c2, w2 = self._run(False)
+        assert r1.losses == r2.losses
+        assert np.array_equal(w1, w2)
+
+    def test_comm_strictly_lower(self):
+        _, _, c1, _ = self._run(True)
+        _, _, c2, _ = self._run(False)
+        comm1 = float(np.mean(c1.category_totals("comm:")))
+        comm2 = float(np.mean(c2.category_totals("comm:")))
+        assert comm1 < comm2
+        assert c1.max_clock() <= c2.max_clock()
+
+    def test_engines_agree_with_prefetch(self):
+        mb, rb, cb, wb = self._run(True, engine="batched")
+        mp, rp, cp, wp = self._run(True, engine="perrank")
+        assert rb.losses == rp.losses
+        assert np.array_equal(wb, wp)
+        assert np.array_equal(cb.clocks, cp.clocks)
+
+    def test_trainable_features_disable_prefetch(self):
+        """Trainable F0 changes after the optimizer step, so the gather
+        cannot be prefetched — the run must still be bitwise clean."""
+        m1, r1, _, _ = self._run(True, trainable_features=True)
+        m2, r2, _, _ = self._run(False, trainable_features=True)
+        assert m1._f0_pending is None
+        assert r1.losses == r2.losses
+
+    def test_cluster_reset_orphans_prefetch(self):
+        """A cluster reset discards the timeline the prefetch was scheduled
+        on; the next forward must drop the stale handle and gather eagerly,
+        so post-reset clocks match a fresh run exactly."""
+        a, feats, labels, mask = _dataset()
+        cfg = GridConfig(3, 2, 2)
+
+        def make():
+            cluster = VirtualCluster(cfg.total, PERLMUTTER)
+            model = PlexusGCN(cluster, cfg, a, feats, labels, mask, DIMS,
+                              PlexusOptions(seed=0, overlap=True))
+            return PlexusTrainer(model), cluster
+
+        t1, c1 = make()
+        t1.train(3)
+        c1.reset()
+        t1.train_epoch()
+
+        # rank clocks depend on shard shapes and the schedule, not weight
+        # values, so the post-reset epoch must cost exactly what a fresh
+        # model's first epoch costs — a stale prefetch would inflate it
+        t2, c2 = make()
+        t2.train_epoch()
+        assert np.array_equal(c1.clocks, c2.clocks)
+        assert np.array_equal(c1.category_totals("comm:"), c2.category_totals("comm:"))
+
+    def test_max_inflight_not_inherited_across_models(self):
+        """A later model on the same cluster must not inherit an earlier
+        model's link bound."""
+        a, feats, labels, mask = _dataset()
+        cfg = GridConfig(2, 2, 1)
+        cluster = VirtualCluster(cfg.total, PERLMUTTER)
+        PlexusGCN(cluster, cfg, a, feats, labels, mask, DIMS,
+                  PlexusOptions(seed=0, max_inflight=1))
+        assert cluster.store.max_inflight == 1
+        PlexusGCN(cluster, cfg, a, feats, labels, mask, DIMS, PlexusOptions(seed=0))
+        assert cluster.store.max_inflight is None
+
+    def test_evaluate_leaves_prefetch_intact(self):
+        """An evaluation pass between epochs must neither consume the
+        in-flight prefetch nor change subsequent losses/clocks."""
+        a, feats, labels, mask = _dataset()
+        cfg = GridConfig(3, 2, 2)
+
+        def make():
+            cluster = VirtualCluster(cfg.total, PERLMUTTER)
+            model = PlexusGCN(cluster, cfg, a, feats, labels, mask, DIMS,
+                              PlexusOptions(seed=0, overlap=True))
+            return PlexusTrainer(model), cluster
+
+        t1, c1 = make()
+        t1.train(2)
+        t1.evaluate(np.ones(N_NODES, dtype=bool))
+        s1 = t1.train_epoch()
+
+        t2, c2 = make()
+        t2.train(2)
+        s2 = t2.train_epoch()
+        assert s1.loss == s2.loss
+        assert np.array_equal(c1.clocks, c2.clocks)
 
 
 class TestOverlapSchedules:
