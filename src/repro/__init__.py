@@ -66,6 +66,8 @@ def train_plexus(
     options: PlexusOptions | None = None,
     seed: int = 0,
     overlap: bool = False,
+    backend: str = "inproc",
+    workers: int | None = None,
 ) -> TrainResult:
     """One-call end-to-end training on a scaled synthetic dataset.
 
@@ -76,9 +78,19 @@ def train_plexus(
     (losses are bitwise unchanged; only the simulated comm/comp breakdown
     improves) — it composes with an explicit ``options`` object, which
     controls everything else.
+
+    ``backend`` selects the execution runtime: ``"inproc"`` (default)
+    simulates every rank in this process; ``"multiproc"`` shards the rank
+    cube across ``workers`` OS processes connected by the shared-memory
+    transport (``repro.runtime``) — same losses, weights, clocks and phase
+    totals, bit for bit, on the supported (uniform-sharding) workloads.
     """
     from dataclasses import replace
 
+    if backend not in ("inproc", "multiproc"):
+        raise ValueError(f"unknown backend {backend!r} (known: inproc, multiproc)")
+    if workers is not None and backend != "multiproc":
+        raise ValueError("workers only applies to backend='multiproc'")
     if options is None:
         options = PlexusOptions(seed=seed, overlap=overlap)
     elif overlap and not options.overlap:
@@ -86,8 +98,42 @@ def train_plexus(
     ds = load_dataset(dataset, scale=scale, seed=seed)
     dims = [ds.n_features, hidden, hidden, ds.n_classes]
     if config is None:
-        ranked = select_best_config(gpus, ds.paper_stats, dims, machine)
+        # rank every factorization: the multiproc uniform filter below must
+        # see the full list, not a truncated prefix
+        ranked = select_best_config(
+            gpus, ds.paper_stats, dims, machine, top_k=len(factor_triples(gpus))
+        )
         config = ranked[0][0]
+        if backend == "multiproc":
+            # the multiproc runtime requires uniform sharding: take the
+            # best-predicted configuration that shards evenly
+            from repro.runtime import is_uniform_workload
+
+            n = ds.norm_adjacency.shape[0]
+            uniform = [c for c, _ in ranked if is_uniform_workload(c, n, dims)]
+            if not uniform:
+                raise ValueError(
+                    f"no uniform {gpus}-rank configuration for N={n}, "
+                    f"dims={dims}; pass config= explicitly or use "
+                    "backend='inproc'"
+                )
+            config = uniform[0]
+    if backend == "multiproc":
+        from repro.runtime import MultiprocTrainer, WorkloadSpec
+
+        spec = WorkloadSpec(
+            config=config,
+            layer_dims=dims,
+            workers=workers if workers is not None else min(2, config.gz),
+            machine=machine,
+            options=options,
+            adjacency=ds.norm_adjacency,
+            features=ds.features,
+            labels=ds.labels,
+            train_mask=ds.train_mask,
+        )
+        with MultiprocTrainer(spec) as trainer:
+            return trainer.train(epochs)
     cluster = VirtualCluster(gpus, machine)
     model = PlexusGCN(
         cluster,

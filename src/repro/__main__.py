@@ -60,6 +60,8 @@ def _cmd_train(args) -> int:
         hidden=args.hidden,
         seed=args.seed,
         overlap=args.overlap,
+        backend=args.backend,
+        workers=args.workers,
     )
     for i, e in enumerate(result.epochs):
         print(f"epoch {i:3d}  loss {e.loss:.6f}  time {e.epoch_time * 1e3:9.3f} ms "
@@ -105,6 +107,18 @@ def main(argv: list[str] | None = None) -> int:
              "communication hides behind compute; --no-overlap (default) runs "
              "the eager schedule — losses are identical either way, only the "
              "simulated comm/comp breakdown changes",
+    )
+    p.add_argument(
+        "--backend", choices=("inproc", "multiproc"), default="inproc",
+        help="execution runtime: 'inproc' simulates every rank in this "
+             "process; 'multiproc' shards the rank cube across --workers OS "
+             "processes over a shared-memory transport (bitwise-identical "
+             "results on uniform-sharding workloads)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-process count for --backend multiproc (each owns whole "
+             "z-planes of the cube; 1 <= workers <= Gz; default min(2, Gz))",
     )
     p.set_defaults(func=_cmd_train)
 

@@ -242,7 +242,9 @@ class PlexusGrid:
         comm = self._comms.get(axis)
         if comm is None:
             comm = self._comms[axis] = axis_communicator(
-                self._axis_comms[axis], self._groups[axis]
+                self._axis_comms[axis],
+                self._groups[axis],
+                issue_overhead_s=self.cluster.machine.issue_overhead_s,
             )
         return comm
 

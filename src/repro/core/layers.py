@@ -7,12 +7,14 @@ collective steps go through the handle-based communicator API
 :class:`~repro.dist.comm.PendingCollective`) and *waited* where its result
 is consumed.  With ``overlap=False`` every issue is followed immediately by
 its wait — the eager schedule, bitwise identical to the historical
-function-style collectives.  With ``overlap=True`` the layer runs the two
+function-style collectives.  With ``overlap=True`` the layer runs the three
 Sec. 5.2-style schedules: the per-block aggregation all-reduces stay in
 flight while the next row block's SpMM computes (waited together after the
-last block), and each layer's W all-gather is prefetched — issued at the
+last block), each layer's W all-gather is prefetched — issued at the
 end of the previous layer by the model driver — and waited only when the
-combination GEMM needs it.  Only the clocks change: issue-time data
+combination GEMM needs it, and the backward dH all-reduce stays in flight
+behind the backward SpMM (pipelining A^T's column blocks against the ring
+steps), waited where dF consumes it.  Only the clocks change: issue-time data
 semantics make losses and weights bitwise independent of the schedule.
 
 The layer is written once against *logical* roles (x, y, z);
@@ -461,12 +463,22 @@ class PlexusLayer:
         # Lines 5-6: dH = SGEMM(dQ, W^T); all-reduce across X-parallel group
         self.cluster.advance_all(self._t_gemm_dh, "comp:gemm_dh")
         dh_partial = batched_matmul(dq, [w.T for w in w_local])
-        dh = comm_x.map_all_reduce(dh_partial, phase="all_reduce_dh").wait()
+        dh_pending = comm_x.map_all_reduce(dh_partial, phase="all_reduce_dh")
         # Lines 7-8: dF = SpMM(A^T, dH); reduce-scatter (layer 0) or
-        # all-reduce (later layers) across the Z-parallel group
+        # all-reduce (later layers) across the Z-parallel group.  With
+        # ``overlap=True`` the backward SpMM's compute is charged while the
+        # dH all-reduce is still in flight — the Sec. 5.2-style pipeline
+        # where A^T's column blocks multiply each dH row block as its ring
+        # step completes — and the handle is waited where dF consumes it.
         if self.is_first and not self.trainable_features:
+            dh_pending.wait()
             return None, dw
-        self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
+        if self.overlap:
+            self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
+            dh = dh_pending.wait()
+        else:
+            dh = dh_pending.wait()
+            self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
         df_partial = self._bd_at.apply(dh)
         if self.is_first:
             df = comm_z.map_reduce_scatter(df_partial, axis=0, phase="reduce_scatter_df").wait()
@@ -495,10 +507,18 @@ class PlexusLayer:
             post_w_hook()
         self.cluster.advance_all(self._t_gemm_dh, "comp:gemm_dh")
         dh_partial = stack_matmul(dq, w_local, tb=True)
-        dh = comm_x.all_reduce(dh_partial, phase="all_reduce_dh").wait()
+        dh_pending = comm_x.all_reduce(dh_partial, phase="all_reduce_dh")
         if self.is_first and not self.trainable_features:
+            dh_pending.wait()
             return None, dw
-        self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
+        # overlap: the backward SpMM pipelines behind the in-flight dH
+        # all-reduce (see _backward_perrank); eager waits first
+        if self.overlap:
+            self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
+            dh = dh_pending.wait()
+        else:
+            dh = dh_pending.wait()
+            self._advance_spmm(self._t_spmm_bwd, self._nnz_a, "comp:spmm_bwd")
         df_partial = self._bd_at.apply_batched(dh)
         if self.is_first:
             df = comm_z.reduce_scatter(df_partial, phase="reduce_scatter_df").wait()

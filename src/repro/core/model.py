@@ -89,6 +89,7 @@ class PlexusGCN:
         train_mask: np.ndarray,
         layer_dims: list[int],
         options: PlexusOptions | None = None,
+        grid: PlexusGrid | None = None,
     ) -> None:
         if len(layer_dims) < 2:
             raise ValueError("need at least two layer dims")
@@ -100,7 +101,14 @@ class PlexusGCN:
         self.options = options or PlexusOptions()
         self.cluster = cluster
         self.config = config
-        self.grid = PlexusGrid(cluster, config)
+        # The grid seam: by default the model spans the whole cube in this
+        # process (the "inproc" backend).  The multi-process runtime passes
+        # a WorkerGrid covering one contiguous z-slice of the cube — every
+        # ``range(grid.world_size)`` loop below then builds only the local
+        # ranks' shards, and ``grid.comm(axis)`` routes cross-worker axes
+        # through the shared-memory transport (repro.runtime).
+        self.grid = PlexusGrid(cluster, config) if grid is None else grid
+        self.backend = getattr(self.grid, "backend", "inproc")
         self.n = n
         self.layer_dims = list(layer_dims)
         self.n_classes = layer_dims[-1]

@@ -306,12 +306,30 @@ class TrainResult:
 
 
 class PlexusTrainer:
-    """Drives epochs over a :class:`PlexusGCN` and records stats."""
+    """Drives epochs over a :class:`PlexusGCN` and records stats.
+
+    This is the ``"inproc"`` backend: one process owns every rank of the
+    simulation.  The multi-process backend
+    (:class:`repro.runtime.launch.MultiprocTrainer`) exposes the same
+    ``train``/``TrainResult`` surface but shards the rank cube across
+    worker processes, with this class kept as its bitwise parity oracle.
+    """
+
+    #: backend discriminator (the multiproc trainer reports "multiproc")
+    backend = "inproc"
 
     def __init__(self, model: PlexusGCN) -> None:
         self.model = model
 
-    def train_epoch(self) -> EpochStats:
+    def train_epoch_raw(self) -> tuple[float, float, float, np.ndarray, np.ndarray]:
+        """One epoch; returns the raw accounting pieces.
+
+        ``(loss, t0, t1, comm_delta, comp_delta)`` where the deltas are the
+        per-rank ``(world,)`` comm/comp second vectors of this epoch.  The
+        multi-process workers ship these to the launcher, which assembles
+        the full-cube vectors before averaging — so both backends reduce
+        the *same* (world,)-shaped arrays and stay bitwise identical.
+        """
         model = self.model
         cluster = model.cluster
         t0 = cluster.max_clock()
@@ -329,9 +347,18 @@ class PlexusTrainer:
         cluster.check_outstanding(allowed=model.prefetched_handles())
         cluster.barrier(phase="comm:epoch_sync")
         t1 = cluster.max_clock()
-        comm = float(np.mean(cluster.category_totals("comm:") - comm0))
-        comp = float(np.mean(cluster.category_totals("comp:") - comp0))
-        return EpochStats(loss=loss, epoch_time=t1 - t0, comm_time=comm, comp_time=comp)
+        comm = cluster.category_totals("comm:") - comm0
+        comp = cluster.category_totals("comp:") - comp0
+        return loss, t0, t1, comm, comp
+
+    def train_epoch(self) -> EpochStats:
+        loss, t0, t1, comm, comp = self.train_epoch_raw()
+        return EpochStats(
+            loss=loss,
+            epoch_time=t1 - t0,
+            comm_time=float(np.mean(comm)),
+            comp_time=float(np.mean(comp)),
+        )
 
     def train(self, epochs: int) -> TrainResult:
         if epochs <= 0:

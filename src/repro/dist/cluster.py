@@ -84,16 +84,22 @@ class ClockStore:
       the link from ``max(group ready time, link free time)``, which is what
       serializes two in-flight operations on the same axis link — they queue
       behind each other instead of magically overlapping.
-    * ``max_inflight`` optionally bounds the queue depth per link: when set
-      (``PlexusOptions.max_inflight`` threads it here), each link also keeps
-      its in-flight completion times in ``link_queues``, and issuing on a
-      saturated link *blocks* — the issuing group's clocks are lifted to the
-      time a slot frees, with the wait charged to the collective's comm
-      phase.  The transfer schedule itself is unchanged (ops already queue
-      on the link); what saturation costs is the *overlap*: compute that
-      would have been issued behind the full queue can no longer start
-      early.  ``None`` (the default) keeps the historical unbounded queue
-      and records nothing.
+    * ``max_inflight`` optionally bounds the in-flight queue depth: when set
+      (``PlexusOptions.max_inflight`` threads it here), ``link_queues`` maps
+      each *queue key* to the sorted completion times of its in-flight ops,
+      and issuing on a saturated queue *blocks* — the issuing group's clocks
+      are lifted to the time a slot frees, with the wait charged to the
+      collective's comm phase.  Queue keys model where the bound physically
+      lives: an intra-node group queues on its own link (NVLink/IF DMA
+      queue), while an *inter-node* group occupies one slot on the shared
+      per-NIC (node-level) queue of **every node it touches** — all links of
+      a node contend for the same ``max_inflight`` slots, so sibling groups
+      interleaved on one node saturate each other (see
+      ``repro.dist.comm._queue_keys_for``).  The transfer schedule itself is
+      unchanged (ops already serialize on their link); what saturation costs
+      is the *overlap*: compute that would have been issued behind the full
+      queue can no longer start early.  ``None`` (the default) keeps the
+      historical unbounded queue and records nothing.
     * ``outstanding`` registers every issued-but-not-yet-waited
       :class:`~repro.dist.comm.PendingCollective`; ``wait()`` deregisters.
       The trainer checks it at epoch end so a dropped handle (communication

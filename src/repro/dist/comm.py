@@ -60,6 +60,7 @@ Two orthogonal extensions ride on the same issue machinery:
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right, insort
 from typing import Sequence
 from weakref import WeakKeyDictionary
 
@@ -86,6 +87,9 @@ __all__ = [
     "PaddedStack",
     "communicator",
     "axis_communicator",
+    "stacked_all_reduce_data",
+    "stacked_all_gather_data",
+    "stacked_reduce_scatter_data",
 ]
 
 _REDUCERS = {"sum": np.add.reduce, "max": np.maximum.reduce}
@@ -121,26 +125,75 @@ def _moved(a: np.ndarray, src: int, dst: int) -> np.ndarray:
     return a.transpose(axes)
 
 
-def _wait_for_link_slot(
-    store: ClockStore, key, idx, ready: float, phase: str, limit: int
-) -> float:
-    """Block the issuing group until its link has a free in-flight slot.
+def _queue_keys_for(group: ProcessGroup, link_key) -> tuple:
+    """The in-flight queue keys one collective on ``group`` occupies.
 
-    Prunes ops completed by ``ready`` from the link's queue; if ``limit``
-    ops remain in flight, lifts the members in ``idx`` to the time the
-    oldest of them completes (charged to ``phase``) and returns it as the
-    new group-ready time.  Transfers themselves still serialize via the
+    An *inter-node* group's traffic passes through the NIC of every node it
+    touches, so it takes one slot on each of those nodes' shared queues —
+    the per-NIC (node-level) bound: all links of a node contend for the
+    same ``max_inflight`` slots.  An *intra-node* group never crosses a NIC
+    (NVLink/IF DMA queues are per link), so it keeps the historical
+    per-link key.
+    """
+    nodes = sorted({m.node for m in group.members})
+    if len(nodes) > 1:
+        return tuple(("nic", n) for n in nodes)
+    return (link_key,)
+
+
+def _slot_free_time(store: ClockStore, keys, ready: float, limit: int) -> float:
+    """Earliest time every queue in ``keys`` has a free in-flight slot.
+
+    Prunes ops completed by ``ready``; if any queue still holds ``limit``
+    in-flight ops, the issue must wait until its ``limit``-th-newest entry
+    completes — across all keys, the max of those times.  Entries completed
+    by the returned time are pruned from every queue.  Returns ``ready``
+    unchanged when no queue is saturated.
+    """
+    t = ready
+    blocked = False
+    for key in keys:
+        q = store.link_queues.get(key)
+        if not q:
+            continue
+        del q[: bisect_right(q, t)]
+        if len(q) >= limit:
+            t = max(t, q[len(q) - limit])
+            blocked = True
+    if not blocked:
+        return ready
+    for key in keys:
+        q = store.link_queues.get(key)
+        if q:
+            del q[: bisect_right(q, t)]
+    return t
+
+
+def _enqueue_inflight(store: ClockStore, keys, end: float) -> None:
+    """Register one in-flight completion time on every queue in ``keys``.
+
+    Queues stay sorted: node-level (NIC) queues collect completion times
+    from *different* links, which need not arrive in ascending order.
+    """
+    for key in keys:
+        insort(store.link_queues.setdefault(key, []), end)
+
+
+def _wait_for_link_slot(
+    store: ClockStore, keys, idx, ready: float, phase: str, limit: int
+) -> float:
+    """Block the issuing group until its queues have a free in-flight slot.
+
+    ``keys`` are the group's queue keys (per-link for intra-node groups,
+    one per touched node's NIC otherwise — see :func:`_queue_keys_for`).
+    When saturated, the members in ``idx`` are lifted to the time a slot
+    frees on every queue (charged to ``phase``), which becomes the new
+    group-ready time.  Transfers themselves still serialize via the
     ``links`` busy-until reservation — saturation only delays the *issue*.
     """
-    q = store.link_queues.get(key)
-    if not q:
+    t_free = _slot_free_time(store, keys, ready, limit)
+    if t_free <= ready:
         return ready
-    while q and q[0] <= ready:
-        q.pop(0)
-    if len(q) < limit:
-        return ready
-    t_free = q[len(q) - limit]
-    del q[: len(q) - limit + 1]
     store.record_idx(idx, phase, t_free - store.clocks[idx])
     store.clocks[idx] = t_free
     return t_free
@@ -314,6 +367,69 @@ def _ready(phase: str, result) -> PendingCollective:
 
 
 # ---------------------------------------------------------------------------
+# stacked collective data math (pure: no clocks, no links)
+#
+# These compute the *data* transformation of one whole-axis collective on a
+# full ``(world, *shard)`` stack, and are what the in-process
+# :class:`AxisCommunicator` executes.  The multi-process shared-memory
+# transport (``repro.runtime.shm``) mirrors this math with local-slice
+# variants (same full-cube operand, same reduction order, only the local
+# ranks' result rows materialized); ``tests/test_runtime_multiproc.py``
+# pins the two bitwise-equal — change them in lockstep.
+# ---------------------------------------------------------------------------
+
+
+def stacked_all_reduce_data(
+    cube_shape: tuple[int, ...], axis: int, stacked: np.ndarray, op: str = "sum"
+) -> np.ndarray:
+    """All-reduce within every group along cube ``axis``; returns the full
+    ``(world, *shard)`` result (every member holds its group's reduction)."""
+    tail = stacked.shape[1:]
+    cube = stacked.reshape(cube_shape + tail)
+    reduced = _REDUCERS[op](cube, axis=axis)
+    out = np.empty(cube_shape + tail, dtype=stacked.dtype)
+    out[...] = reduced[(slice(None),) * axis + (None,)]
+    return out.reshape(stacked.shape)
+
+
+def stacked_all_gather_data(
+    cube_shape: tuple[int, ...], axis: int, stacked: np.ndarray
+) -> np.ndarray:
+    """All-gather along cube ``axis``: every member of a group receives the
+    group's shards concatenated (in member order) along data axis 0."""
+    g = cube_shape[axis]
+    m, tail = stacked.shape[1], stacked.shape[2:]
+    cube = stacked.reshape(cube_shape + (m,) + tail)
+    # bring the group axis adjacent to the row axis, fuse, broadcast back
+    moved = _moved(cube, axis, 2)
+    o0, o1 = moved.shape[0], moved.shape[1]
+    gathered = moved.reshape(o0, o1, g * m, *tail)
+    out = np.empty(cube_shape + (g * m,) + tail, dtype=stacked.dtype)
+    _moved(out, axis, 2)[...] = gathered[:, :, None]
+    return out.reshape((stacked.shape[0], g * m) + tail)
+
+
+def stacked_reduce_scatter_data(
+    cube_shape: tuple[int, ...], axis: int, stacked: np.ndarray, op: str = "sum"
+) -> np.ndarray:
+    """Reduce within every group along cube ``axis``, then scatter row
+    blocks of the result: the member at group coordinate ``j`` gets block
+    ``j``.  Requires the row extent to divide the group size evenly."""
+    g = cube_shape[axis]
+    m, tail = stacked.shape[1], stacked.shape[2:]
+    if m % g != 0:
+        raise ValueError(f"row extent {m} does not divide into {g} blocks")
+    cube = stacked.reshape(cube_shape + (m,) + tail)
+    reduced = _REDUCERS[op](cube, axis=axis)
+    mb = m // g
+    o0, o1 = reduced.shape[0], reduced.shape[1]
+    blocks = reduced.reshape(o0, o1, g, mb, *tail)
+    out = np.empty(cube_shape + (mb,) + tail, dtype=stacked.dtype)
+    _moved(out, axis, 2)[...] = blocks
+    return out.reshape((stacked.shape[0], mb) + tail)
+
+
+# ---------------------------------------------------------------------------
 # communicators
 # ---------------------------------------------------------------------------
 
@@ -326,19 +442,26 @@ class GroupCommunicator:
     same group serialize instead of overlapping each other.
 
     ``issue_overhead_s`` models a per-collective launch cost charged to
-    every member at issue time.  It defaults to 0 (keeping eager numerics
-    bitwise identical to the historical collectives); to enable it, set the
-    attribute on the *cached* communicator —
-    ``communicator(group).issue_overhead_s = 2e-6`` — so every collective
-    on the group shares both the overhead and the link reservation.
+    every member at issue time.  It defaults to the machine's calibrated
+    ``MachineSpec.issue_overhead_s`` constant (0 on the shipped machines,
+    keeping eager numerics bitwise identical to the historical
+    collectives); to override it, set the attribute on the *cached*
+    communicator — ``communicator(group).issue_overhead_s = 2e-6`` — so
+    every collective on the group shares both the overhead and the link
+    reservation.
     """
 
-    __slots__ = ("group", "issue_overhead_s", "_link_key", "_ranks")
+    __slots__ = ("group", "issue_overhead_s", "_link_key", "_queue_keys", "_ranks")
 
-    def __init__(self, group: ProcessGroup, issue_overhead_s: float = 0.0) -> None:
+    def __init__(self, group: ProcessGroup, issue_overhead_s: float | None = None) -> None:
         self.group = group
+        if issue_overhead_s is None:
+            issue_overhead_s = group.machine.issue_overhead_s
         self.issue_overhead_s = float(issue_overhead_s)
         self._link_key = next(_LINK_KEYS)
+        #: in-flight queue keys (node-level NIC queues for inter-node
+        #: groups, the private link key otherwise)
+        self._queue_keys = _queue_keys_for(group, self._link_key)
         self._ranks = [m.rank for m in group.members]  # shard order, cached
 
     # -- issue machinery -----------------------------------------------------
@@ -355,13 +478,13 @@ class GroupCommunicator:
             ready = clocks.max()
             limit = store.max_inflight
             if limit is not None:
-                ready = _wait_for_link_slot(store, self._link_key, idx, ready, full_phase, limit)
+                ready = _wait_for_link_slot(store, self._queue_keys, idx, ready, full_phase, limit)
             link = store.links.get(self._link_key)
             begin = ready if (link is None or link <= ready) else link
             end = begin + duration
             store.links[self._link_key] = end
             if limit is not None:
-                store.link_queues.setdefault(self._link_key, []).append(float(end))
+                _enqueue_inflight(store, self._queue_keys, float(end))
             record = ("idx", idx, begin, end, duration)
             return PendingCollective(full_phase, result, store, record)
         # Storeless fallback (duck-typed members sharing no ClockStore):
@@ -490,6 +613,7 @@ class AxisCommunicator:
         "issue_overhead_s",
         "_link_key",
         "_group_link_keys",
+        "_ordered_group_comms",
         "_padded_plans",
     )
 
@@ -510,6 +634,9 @@ class AxisCommunicator:
         #: the map_* path uses), so stacked and group-wise operations on
         #: one axis serialize against each other
         self._group_link_keys: list[int] | None = None
+        #: group communicators in keepdims-ravel order (the bounded-issue
+        #: path walks them sequentially, mirroring the map_* schedule)
+        self._ordered_group_comms: list[GroupCommunicator] | None = None
         if groups:
             self.attach_groups(groups)
 
@@ -532,22 +659,26 @@ class AxisCommunicator:
             return
         self.group_comms = [communicator(g) for g in groups]
         # position of each group's slot in the keepdims link cube: unfold a
-        # member rank into (z, x, y), zero the reduced axis, ravel the rest
+        # member's *store index* (== its rank on a whole-cluster store, its
+        # local index on a worker-sliced store) into (z, x, y), zero the
+        # reduced axis, ravel the rest
         d = self.descriptor
         gz, gx, gy = d.cube
         keep = list(d.cube)
         keep[d.axis] = 1
-        ordered: list[tuple[int, int]] = []
+        ordered: list[tuple[int, GroupCommunicator]] = []
         for gc in self.group_comms:
-            r0 = gc.group.members[0].rank
-            coords = [r0 // (gx * gy), (r0 // gy) % gx, r0 % gy]
+            m0 = gc.group.members[0]
+            i0 = getattr(m0, "_i", m0.rank)
+            coords = [i0 // (gx * gy), (i0 // gy) % gx, i0 % gy]
             coords[d.axis] = 0
             pos = (coords[0] * keep[1] + coords[1]) * keep[2] + coords[2]
-            ordered.append((pos, gc._link_key))
-        ordered.sort()
+            ordered.append((pos, gc))
+        ordered.sort(key=lambda t: t[0])
         if [p for p, _ in ordered] != list(range(len(ordered))):
             raise ValueError("groups do not tile the axis's off-axis cube")
-        self._group_link_keys = [k for _, k in ordered]
+        self._ordered_group_comms = [gc for _, gc in ordered]
+        self._group_link_keys = [gc._link_key for gc in self._ordered_group_comms]
 
     # -- issue machinery -----------------------------------------------------
     def _issue(self, duration, phase: str, result) -> PendingCollective:
@@ -570,19 +701,19 @@ class AxisCommunicator:
         limit = store.max_inflight
         if keys is not None:
             if limit is not None:
-                ready = self._wait_for_slots(store, keys, ready, cube, full_phase, limit)
-            # the same per-group entries the map_* path reserves, so the
-            # two paths serialize on one axis's physical links
-            link = np.asarray([links.get(k, 0.0) for k in keys]).reshape(ready.shape)
-            begin = np.maximum(ready, link)
-            end = begin + duration
-            for k, v in zip(keys, end.ravel()):
-                links[k] = float(v)
-                if limit is not None:
-                    store.link_queues.setdefault(k, []).append(float(v))
+                begin, end = self._issue_bounded(store, ready, duration, full_phase, limit)
+            else:
+                # the same per-group entries the map_* path reserves, so the
+                # two paths serialize on one axis's physical links
+                link = np.asarray([links.get(k, 0.0) for k in keys]).reshape(ready.shape)
+                begin = np.maximum(ready, link)
+                end = begin + duration
+                for k, v in zip(keys, end.ravel()):
+                    links[k] = float(v)
         else:  # detached descriptor (no groups known): axis-level reservation
             if limit is not None:
                 # synthetic per-group queue keys so the bound holds here too
+                # (no group membership -> no node info: per-link semantics)
                 dkeys = [(self._link_key, gi) for gi in range(ready.size)]
                 ready = self._wait_for_slots(store, dkeys, ready, cube, full_phase, limit)
             link = links.get(self._link_key)
@@ -591,34 +722,57 @@ class AxisCommunicator:
             links[self._link_key] = end
             if limit is not None:
                 for k, v in zip(dkeys, np.broadcast_to(end, ready.shape).ravel()):
-                    store.link_queues.setdefault(k, []).append(float(v))
+                    insort(store.link_queues.setdefault(k, []), float(v))
         record = ("cube", d.cube, begin, end, duration)
         return PendingCollective(full_phase, result, store, record)
+
+    def _issue_bounded(
+        self, store: ClockStore, ready: np.ndarray, duration, phase: str, limit: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Schedule the axis's groups one at a time under the in-flight bound.
+
+        Mirrors the group-wise ``map_*`` schedule bitwise: each group in
+        keepdims-ravel order acquires its queue slots, reserves its link,
+        and registers its completion before the next group issues.  The
+        sequencing matters under the node-level NIC bound — sibling groups
+        of one axis can share a node's queue, so an earlier group's issue
+        may saturate a later group's.
+        """
+        rf = ready.ravel()
+        # duration is a scalar (uniform stacks) or a keepdims cube array
+        # (padded stacks): align it with ready's keepdims shape first
+        dur = np.broadcast_to(np.asarray(duration, dtype=np.float64), ready.shape).ravel()
+        begin = np.empty(rf.shape)
+        end = np.empty(rf.shape)
+        links = store.links
+        for gi, gc in enumerate(self._ordered_group_comms):
+            r = _wait_for_link_slot(
+                store, gc._queue_keys, gc.group.member_idx, float(rf[gi]), phase, limit
+            )
+            link = links.get(gc._link_key, 0.0)
+            b = r if link <= r else link
+            e = b + float(dur[gi])
+            links[gc._link_key] = e
+            _enqueue_inflight(store, gc._queue_keys, float(e))
+            begin[gi] = b
+            end[gi] = e
+        return begin.reshape(ready.shape), end.reshape(ready.shape)
 
     def _wait_for_slots(
         self, store: ClockStore, keys, ready: np.ndarray, cube: np.ndarray, phase: str, limit: int
     ) -> np.ndarray:
-        """Bounded-queue issue for every group at once.
+        """Bounded-queue issue for every group at once (detached path).
 
-        Mirrors :func:`_wait_for_link_slot` per group: members of saturated
-        groups are lifted to the time their link frees a slot (charged to
-        ``phase``); other groups' clocks are untouched (zeros recorded), so
-        charges match the group-wise path bitwise.
+        Mirrors :func:`_wait_for_link_slot` per single-key group: members of
+        saturated groups are lifted to the time their link frees a slot
+        (charged to ``phase``); other groups' clocks are untouched (zeros
+        recorded).
         """
         rf = ready.ravel()
-        t_free = rf.copy()
-        blocked = False
-        for gi, k in enumerate(keys):
-            q = store.link_queues.get(k)
-            if not q:
-                continue
-            while q and q[0] <= rf[gi]:
-                q.pop(0)
-            if len(q) >= limit:
-                t_free[gi] = q[len(q) - limit]
-                del q[: len(q) - limit + 1]
-                blocked = True
-        if not blocked:
+        t_free = np.asarray(
+            [_slot_free_time(store, (k,), float(r), limit) for k, r in zip(keys, rf)]
+        )
+        if np.all(t_free <= rf):
             return ready
         tf = t_free.reshape(ready.shape)
         lift = tf > ready
@@ -755,13 +909,11 @@ class AxisCommunicator:
         if d.size == 1:
             return _ready("comm:" + phase, stacked)
         plan = self._padded_plan("all_reduce", stacked)
-        data = stacked.data
-        tail = data.shape[1:]
-        cube = data.reshape(d.cube + tail)
-        reduced = _REDUCERS[op](cube, axis=d.axis)
-        out = np.empty(d.cube + tail, dtype=data.dtype)
-        out[...] = reduced[(slice(None),) * d.axis + (None,)]
-        result = PaddedStack(out.reshape((d.world,) + tail), stacked.rows, stacked.cols)
+        result = PaddedStack(
+            stacked_all_reduce_data(d.cube, d.axis, stacked.data, op),
+            stacked.rows,
+            stacked.cols,
+        )
         return self._issue(plan["duration"], phase, result)
 
     def _padded_all_gather(self, stacked: PaddedStack, phase: str) -> PendingCollective:
@@ -815,12 +967,7 @@ class AxisCommunicator:
         g = d.size
         if g == 1:
             return _ready("comm:" + phase, stacked)
-        tail = stacked.shape[1:]
-        cube = stacked.reshape(d.cube + tail)
-        reduced = _REDUCERS[op](cube, axis=d.axis)
-        out = np.empty(d.cube + tail, dtype=stacked.dtype)
-        out[...] = reduced[(slice(None),) * d.axis + (None,)]
-        result = out.reshape((d.world,) + tail)
+        result = stacked_all_reduce_data(d.cube, d.axis, stacked, op)
         t = ring_all_reduce_time(stacked[0].nbytes, g, d.bandwidth, d.latency)
         return self._issue(t, phase, result)
 
@@ -840,15 +987,7 @@ class AxisCommunicator:
         g = d.size
         if g == 1:
             return _ready("comm:" + phase, stacked)
-        m, tail = stacked.shape[1], stacked.shape[2:]
-        cube = stacked.reshape(d.cube + (m,) + tail)
-        # bring the group axis adjacent to the row axis, fuse, broadcast back
-        moved = _moved(cube, d.axis, 2)
-        o0, o1 = moved.shape[0], moved.shape[1]
-        gathered = moved.reshape(o0, o1, g * m, *tail)
-        out = np.empty(d.cube + (g * m,) + tail, dtype=stacked.dtype)
-        _moved(out, d.axis, 2)[...] = gathered[:, :, None]
-        result = out.reshape((d.world, g * m) + tail)
+        result = stacked_all_gather_data(d.cube, d.axis, stacked)
         t = ring_all_gather_time(g * stacked[0].nbytes, g, d.bandwidth, d.latency)
         return self._issue(t, phase, result)
 
@@ -870,20 +1009,13 @@ class AxisCommunicator:
         g = d.size
         if g == 1:
             return _ready("comm:" + phase, stacked)
-        m, tail = stacked.shape[1], stacked.shape[2:]
+        m = stacked.shape[1]
         if m % g != 0:
             # quasi-equal scatter: wrap as a fully-valid padded stack so the
             # result carries the ragged block-row mask
             wrapped = PaddedStack(stacked, np.full(stacked.shape[0], m, dtype=np.int64))
             return self._padded_reduce_scatter(wrapped, op, phase)
-        cube = stacked.reshape(d.cube + (m,) + tail)
-        reduced = _REDUCERS[op](cube, axis=d.axis)
-        mb = m // g
-        o0, o1 = reduced.shape[0], reduced.shape[1]
-        blocks = reduced.reshape(o0, o1, g, mb, *tail)
-        out = np.empty(d.cube + (mb,) + tail, dtype=stacked.dtype)
-        _moved(out, d.axis, 2)[...] = blocks
-        result = out.reshape((d.world, mb) + tail)
+        result = stacked_reduce_scatter_data(d.cube, d.axis, stacked, op)
         t = ring_reduce_scatter_time(stacked[0].nbytes, g, d.bandwidth, d.latency)
         return self._issue(t, phase, result)
 
@@ -946,12 +1078,26 @@ _AXIS_COMMS: "WeakKeyDictionary[AxisComm, AxisCommunicator]" = WeakKeyDictionary
 
 
 def axis_communicator(
-    descriptor: AxisComm, groups: Sequence[ProcessGroup] | None = None
+    descriptor: AxisComm,
+    groups: Sequence[ProcessGroup] | None = None,
+    issue_overhead_s: float | None = None,
 ) -> AxisCommunicator:
-    """The (cached) communicator of a whole grid axis."""
+    """The (cached) communicator of a whole grid axis.
+
+    ``issue_overhead_s`` sets the launch cost when given
+    (``PlexusGrid.comm`` threads the machine's calibrated constant here).
+    A cached instance adopts it only while still at the 0.0 default, so a
+    first touch through an overhead-less path (e.g. a deprecated ``axis_*``
+    shim) cannot pin a calibrated machine's axis to zero launch cost — but
+    an explicit nonzero override set on the instance is never clobbered.
+    """
     comm = _AXIS_COMMS.get(descriptor)
     if comm is None:
-        comm = _AXIS_COMMS[descriptor] = AxisCommunicator(descriptor)
+        comm = _AXIS_COMMS[descriptor] = AxisCommunicator(
+            descriptor, issue_overhead_s=issue_overhead_s or 0.0
+        )
+    elif issue_overhead_s and comm.issue_overhead_s == 0.0:
+        comm.issue_overhead_s = float(issue_overhead_s)
     if groups is not None:
         comm.attach_groups(groups)
     return comm

@@ -47,6 +47,12 @@ class MachineSpec:
     device: DeviceSpec
     #: per-hop link latency charged per ring step, seconds
     latency: float = 2.0e-6
+    #: per-collective launch cost charged to every member at issue time,
+    #: seconds.  Threaded to the communicators (``repro.dist.comm``) as
+    #: their default ``issue_overhead_s``; 0.0 (the shipped machines) keeps
+    #: eager numerics bitwise identical to the historical collectives.
+    #: Calibrate per machine when modeling NIC doorbell/launch costs.
+    issue_overhead_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.gpus_per_node < 1:
@@ -57,6 +63,8 @@ class MachineSpec:
             raise ValueError("nics_per_node must be >= 1")
         if self.latency < 0:
             raise ValueError("latency must be non-negative")
+        if self.issue_overhead_s < 0:
+            raise ValueError("issue_overhead_s must be non-negative")
 
     @property
     def inter_node_bw(self) -> float:

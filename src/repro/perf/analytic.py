@@ -171,6 +171,13 @@ class PlexusAnalytic:
                 t_bwd = spmm_time(bwd_shard, dev)
                 comp += t_bwd
                 detail["spmm"] += t_bwd
+                if self.overlap:
+                    # the dH all-reduce stays in flight behind the backward
+                    # SpMM (A^T column blocks pipeline against ring steps);
+                    # only the uncovered tail stays visible
+                    hidden_dh = min(ring_all_reduce_time(h_bytes, gx, bx), t_bwd)
+                    t -= hidden_dh
+                    detail["hidden_comm"] += hidden_dh
                 f_bytes = rows_x * cols_y * _ELEM
                 if is_first:
                     t += ring_reduce_scatter_time(f_bytes, gz, bz)

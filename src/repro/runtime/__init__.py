@@ -1,0 +1,43 @@
+"""Multi-process execution runtime: the simulator sharded across OS processes.
+
+``repro.runtime`` executes the batched engine across a pool of worker
+processes, each owning a contiguous z-slice of the rank cube, with a real
+zero-copy shared-memory tensor transport underneath the existing
+:class:`~repro.dist.comm.PendingCollective` handle API:
+
+* :mod:`repro.runtime.shm` — per-worker mailbox segments, the two-phase
+  rendezvous, and :class:`~repro.runtime.shm.ShmAxisCommunicator` (the
+  worker-crossing Z axis's communicator).
+* :mod:`repro.runtime.worker` — the slice-local cluster/grid/model and the
+  spawned-process command loop.
+* :mod:`repro.runtime.launch` — :class:`~repro.runtime.launch.MultiprocTrainer`
+  (the ``backend="multiproc"`` trainer) and the
+  :func:`~repro.runtime.launch.build_trainer` backend seam.
+
+Guarantee: ``backend="multiproc"`` is bitwise identical to
+``backend="inproc"`` — losses, weights, per-rank clocks and phase totals —
+on every supported configuration (uniform sharding, batched engine, eager
+or overlap schedules); the in-process simulator remains the parity oracle.
+"""
+
+from repro.runtime.launch import (
+    MultiprocTrainer,
+    WorkloadSpec,
+    build_trainer,
+    is_uniform_workload,
+)
+from repro.runtime.shm import ShmAxisCommunicator, ShmBus, cleanup_orphans
+from repro.runtime.worker import WorkerCluster, WorkerGrid, worker_slice
+
+__all__ = [
+    "MultiprocTrainer",
+    "WorkloadSpec",
+    "build_trainer",
+    "is_uniform_workload",
+    "ShmAxisCommunicator",
+    "ShmBus",
+    "cleanup_orphans",
+    "WorkerCluster",
+    "WorkerGrid",
+    "worker_slice",
+]

@@ -1,0 +1,375 @@
+"""Launcher side of the multi-process runtime.
+
+:class:`MultiprocTrainer` is the ``backend="multiproc"`` counterpart of
+:class:`~repro.core.trainer.PlexusTrainer`: it spawns one OS process per
+worker (each owning a contiguous z-slice of the rank cube, see
+:mod:`repro.runtime.worker`), wires them together over the shared-memory
+bus (:mod:`repro.runtime.shm`), and drives the epoch loop through per-worker
+command pipes.  ``train(epochs)`` returns the same :class:`TrainResult` the
+in-process trainer produces — losses, epoch times and the comm/comp
+breakdown are assembled from the workers' raw per-rank vectors so they are
+*bitwise identical* to ``backend="inproc"`` on the same workload.
+
+Cleanup discipline (the no-leaked-``/dev/shm`` guarantee): the launcher
+creates every segment and is the only unlinker.  ``close()`` — also run
+from ``__exit__``, the ``atexit`` hook, and the failure path of every
+command — terminates stragglers, joins with a timeout, unlinks the
+session's segments and sweeps any overflow blocks a crashed worker left
+behind.  A worker death mid-collective breaks the rendezvous barrier, so
+surviving workers error out promptly instead of hanging, and the launcher
+turns the failure into a :class:`RuntimeError` carrying the worker's
+traceback.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.configs import PlexusOptions
+from repro.core.grid import GridConfig, _grid_coords, axis_roles
+from repro.core.sharding import LayerSharding
+from repro.core.trainer import EpochStats, TrainResult
+from repro.dist.topology import PERLMUTTER, MachineSpec
+from repro.graph.shardio import LoadReport
+from repro.runtime.shm import BusHandle, ShmBus, new_session_id
+from repro.runtime.worker import worker_main, worker_slice
+
+__all__ = ["WorkloadSpec", "MultiprocTrainer", "build_trainer", "is_uniform_workload"]
+
+#: default per-worker mailbox size; payloads beyond it take the overflow path
+DEFAULT_MAILBOX_BYTES = 8 << 20
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything a worker needs to build its slice of the model.
+
+    Exactly one data source: the in-memory arrays, or ``shard_dir`` — a
+    :func:`~repro.graph.shardio.save_sharded` directory holding the
+    *normalized* adjacency, from which each worker reads only the file
+    blocks overlapping its own shard rows.
+    """
+
+    config: GridConfig
+    layer_dims: list[int]
+    workers: int
+    machine: MachineSpec = PERLMUTTER
+    options: PlexusOptions = field(default_factory=PlexusOptions)
+    adjacency: sp.csr_matrix | None = None
+    features: np.ndarray | None = None
+    labels: np.ndarray | None = None
+    train_mask: np.ndarray | None = None
+    shard_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        in_memory = self.adjacency is not None
+        if in_memory == (self.shard_dir is not None):
+            raise ValueError("provide either in-memory arrays or shard_dir, not both")
+        if in_memory and (
+            self.features is None or self.labels is None or self.train_mask is None
+        ):
+            raise ValueError("in-memory data needs adjacency, features, labels, train_mask")
+        if self.shard_dir is not None and self.train_mask is None:
+            raise ValueError("shard_dir data still needs the (small) train_mask array")
+
+
+def is_uniform_workload(config: GridConfig, n: int, layer_dims: list[int]) -> bool:
+    """True when every layer of ``(n, layer_dims)`` shards into identical
+    blocks over ``config`` — the multiproc backend's eligibility test
+    (callers picking a configuration automatically filter with this)."""
+    geo = _GeometryGrid(config)
+    return all(
+        LayerSharding(config, axis_roles(i), n, layer_dims[i], layer_dims[i + 1]).is_uniform(geo)
+        for i in range(len(layer_dims) - 1)
+    )
+
+
+class _GeometryGrid:
+    """Geometry-only grid stand-in (global coords, no cluster) used to
+    validate a workload's sharding before any process is spawned."""
+
+    def __init__(self, config: GridConfig) -> None:
+        self.config = config
+        self.world_size = config.total
+        self._coords = _grid_coords(config.gx, config.gy, config.gz)
+
+    def coord(self, rank: int, axis) -> int:
+        return self._coords[rank][axis]
+
+
+def _validate_spec(spec: WorkloadSpec) -> None:
+    """Fail in the launcher, with a clear message, before spawning."""
+    opts = spec.options
+    if opts.engine == "perrank":
+        raise ValueError(
+            "backend='multiproc' runs the batched engine only; use "
+            "backend='inproc' for the per-rank parity oracle"
+        )
+    if opts.noise is not None:
+        raise ValueError("backend='multiproc' does not support the SpMM noise model")
+    n = spec.adjacency.shape[0] if spec.adjacency is not None else None
+    if n is not None and not is_uniform_workload(spec.config, n, spec.layer_dims):
+        raise ValueError(
+            f"backend='multiproc' requires divisible (uniform) sharding, but "
+            f"N={n}, dims={spec.layer_dims} shard unevenly over "
+            f"{spec.config.name}; use backend='inproc'"
+        )
+    worker_slice(spec.config, spec.workers, 0)  # validates the worker count
+
+
+class MultiprocTrainer:
+    """Drives epochs across a pool of worker processes (one rank-cube slice
+    each) with the :class:`~repro.core.trainer.PlexusTrainer` surface."""
+
+    backend = "multiproc"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        mailbox_bytes: int = DEFAULT_MAILBOX_BYTES,
+        timeout: float = 120.0,
+    ) -> None:
+        _validate_spec(spec)
+        self.spec = spec
+        self.workers = spec.workers
+        self.timeout = timeout
+        self._closed = False
+        ctx = mp.get_context("spawn")
+        self._bus_handle = BusHandle(
+            session=new_session_id(),
+            n_workers=spec.workers,
+            capacity=int(mailbox_bytes),
+            barrier_a=ctx.Barrier(spec.workers),
+            barrier_b=ctx.Barrier(spec.workers),
+            timeout=timeout,
+        )
+        self._bus = ShmBus(self._bus_handle)  # creator endpoint: owns unlink
+        self._procs: list = []
+        self._conns: list = []
+        atexit.register(self.close)
+        try:
+            for w in range(spec.workers):
+                parent, child = ctx.Pipe()
+                p = ctx.Process(
+                    target=worker_main,
+                    args=(w, self._bus_handle, spec, child),
+                    name=f"plexus-runtime-worker-{w}",
+                    daemon=True,
+                )
+                p.start()
+                child.close()
+                self._procs.append(p)
+                self._conns.append(parent)
+            for w in range(spec.workers):
+                self._recv(w)  # ("ready", w) or the build error
+        except BaseException:
+            self.close()
+            raise
+
+    # -- command plumbing ------------------------------------------------------
+    def _recv(self, w: int):
+        """Wait for worker ``w``'s reply; liveness-based, not deadline-based.
+
+        A long ``train`` command legitimately stays silent for many epochs,
+        so the launcher waits as long as the worker process is alive.  A
+        *wedged* worker cannot hang us silently: a broken rendezvous trips
+        the bus barrier timeout (``self.timeout``) inside the worker, which
+        reports the error here or dies — both end the poll loop.
+        """
+        conn = self._conns[w]
+        proc = self._procs[w]
+        while not conn.poll(1.0):
+            if not proc.is_alive() and not conn.poll(0):
+                self._fail(f"worker {w} died (exit code {proc.exitcode})")
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            self._fail(f"worker {w} died (exit code {proc.exitcode})")
+        if kind == "error":
+            self._fail(payload)
+        return payload
+
+    def _fail(self, message: str):
+        self.close()
+        raise RuntimeError(f"multiproc runtime failed: {message}")
+
+    def _command(self, *msg) -> list:
+        if self._closed:
+            raise RuntimeError("multiproc trainer is closed")
+        for w, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (OSError, ValueError):
+                self._fail(f"worker {w} died (exit code {self._procs[w].exitcode})")
+        return [self._recv(w) for w in range(self.workers)]
+
+    # -- trainer surface -------------------------------------------------------
+    def train(self, epochs: int) -> TrainResult:
+        """Run ``epochs`` across the pool; identical result to inproc.
+
+        Per epoch, every worker reports ``(loss, t0, t1, comm, comp)`` with
+        the per-rank second vectors of its slice; losses and epoch bounds
+        are cube-global (the loss is all-reduced, the epoch barrier lifts
+        every rank to the cube max) so they must agree across workers —
+        asserted here — and the breakdown means are taken over the
+        assembled ``(world,)`` vectors, bitwise like the inproc trainer.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        per_worker = self._command("train", epochs)
+        result = TrainResult()
+        for e in range(epochs):
+            loss, t0, t1 = per_worker[0][e][:3]
+            for w in range(1, self.workers):
+                if per_worker[w][e][:3] != (loss, t0, t1):
+                    self._fail(
+                        f"epoch {e}: workers disagree on (loss, t0, t1) — "
+                        "the SPMD execution diverged"
+                    )
+            comm = np.concatenate([per_worker[w][e][3] for w in range(self.workers)])
+            comp = np.concatenate([per_worker[w][e][4] for w in range(self.workers)])
+            result.epochs.append(
+                EpochStats(
+                    loss=loss,
+                    epoch_time=t1 - t0,
+                    comm_time=float(np.mean(comm)),
+                    comp_time=float(np.mean(comp)),
+                )
+            )
+        return result
+
+    def state(self) -> dict:
+        """Assembled cube-wide state for parity checks and reporting.
+
+        Returns ``clocks`` (world,), ``by_phase``/``by_category`` label ->
+        (world,) vectors, ``weights`` name -> (world, rows, cols) stacks,
+        and ``load_reports`` (per worker; None without ``shard_dir``).
+        """
+        states = self._command("state")
+        states.sort(key=lambda s: s["lo"])
+        world = states[-1]["hi"]
+        clocks = np.concatenate([s["clocks"] for s in states])
+        assert clocks.shape[0] == world
+
+        def assemble(key):
+            labels = sorted({k for s in states for k in s[key]})
+            out = {}
+            for label in labels:
+                vec = np.zeros(world)
+                for s in states:
+                    if label in s[key]:
+                        vec[s["lo"] : s["hi"]] = s[key][label]
+                out[label] = vec
+            return out
+
+        weights = {
+            name: np.concatenate([s["weights"][name] for s in states], axis=0)
+            for name in states[0]["weights"]
+        }
+        return {
+            "clocks": clocks,
+            "by_phase": assemble("by_phase"),
+            "by_category": assemble("by_category"),
+            "weights": weights,
+            "load_reports": [s["load_report"] for s in states],
+        }
+
+    def load_reports(self) -> list[LoadReport | None]:
+        return self.state()["load_reports"]
+
+    def reset(self) -> None:
+        """Zero every worker's clocks and timelines (between runs)."""
+        self._command("reset")
+
+    def evaluate(self, mask_global) -> float:
+        raise NotImplementedError(
+            "evaluate() runs per-rank accuracy collectives that have no "
+            "multiproc path yet; build the model with backend='inproc' for "
+            "evaluation passes"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the pool and release every shared-memory segment.
+
+        Idempotent, and the single place the session's segments are
+        unlinked — run on clean exit, on any command failure, at interpreter
+        exit, and from ``__exit__`` (so KeyboardInterrupt in a ``with``
+        block cannot leak ``/dev/shm``)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)  # a closed trainer must be collectable
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError):
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._bus.unlink()
+
+    def __enter__(self) -> "MultiprocTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - backstop only
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- test hook -------------------------------------------------------------
+    def _crash_worker(self, w: int) -> None:
+        """Hard-kill one worker (``os._exit``) — the crash-cleanup tests."""
+        self._conns[w].send(("crash",))
+        self._procs[w].join(timeout=self.timeout)
+
+
+def build_trainer(spec: WorkloadSpec, backend: str = "inproc"):
+    """The backend seam: one workload description, either trainer.
+
+    ``"inproc"`` builds the whole cube in this process
+    (:class:`~repro.core.trainer.PlexusTrainer` over a
+    :class:`~repro.dist.cluster.VirtualCluster`) — the parity oracle;
+    ``"multiproc"`` launches the worker pool.  Requires in-memory data for
+    the inproc backend.
+    """
+    if backend == "multiproc":
+        return MultiprocTrainer(spec)
+    if backend != "inproc":
+        raise ValueError(f"unknown backend {backend!r} (known: inproc, multiproc)")
+    from repro.core.model import PlexusGCN
+    from repro.core.trainer import PlexusTrainer
+    from repro.dist.cluster import VirtualCluster
+
+    if spec.adjacency is None:
+        raise ValueError("backend='inproc' needs in-memory data (adjacency, ...)")
+    cluster = VirtualCluster(spec.config.total, spec.machine)
+    model = PlexusGCN(
+        cluster,
+        spec.config,
+        spec.adjacency,
+        spec.features,
+        spec.labels,
+        spec.train_mask,
+        spec.layer_dims,
+        spec.options,
+    )
+    return PlexusTrainer(model)

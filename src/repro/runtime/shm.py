@@ -1,0 +1,543 @@
+"""Shared-memory tensor transport for the multi-process runtime.
+
+Workers of one :mod:`repro.runtime` session exchange tensors through
+POSIX shared memory (``multiprocessing.shared_memory``): every worker owns
+one fixed *mailbox* segment all peers can read, plus per-message overflow
+segments for payloads larger than the mailbox.  A rendezvous is two barrier
+phases around raw-byte traffic:
+
+1. each worker packs its arrays into its mailbox (a direct ``np.copyto``
+   into the mapped buffer — no pickling),
+2. barrier A — every mailbox is complete,
+3. each worker assembles the full-cube operand by copying straight out of
+   every peer's mapped buffer (``np.concatenate`` over zero-copy views),
+4. barrier B — everyone has read; mailboxes may be overwritten again.
+
+On top of the bus, :class:`ShmAxisCommunicator` implements the existing
+:class:`~repro.dist.comm.PendingCollective` handle API for the one grid
+axis that crosses worker boundaries (the cube's leading Z axis): ``issue``
+rendezvouses — the workers exchange their clock slices and operand slices,
+every worker deterministically computes the *same* full-cube schedule
+(group-ready times, link reservations, Eq. 4.5 durations) and the same
+collective result via the pure stacked-data helpers of
+``repro.dist.comm`` — and the returned handle charges only the local
+ranks' completion at ``wait()``.  Because every worker runs the same SPMD
+program order, collectives rendezvous in identical sequence (a per-message
+sequence number makes desync loud), overlap schedules included: handles
+can stay in flight across local compute exactly as in-process.
+
+Cleanup discipline: the launcher (segment creator) owns ``unlink``; workers
+only ``close``.  Spawned workers share the launcher's stdlib resource
+tracker, so segment registrations are deliberately left in place — a
+worker's exit cannot tear down segments its peers still map (the tracker
+only reclaims at tracker exit), and if the whole process tree dies hard the
+tracker still unlinks everything.  :func:`cleanup_orphans` sweeps
+``/dev/shm`` for leftover session segments (and unregisters them) — the CI
+orphan guard and the crash-path backstop.
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid
+from bisect import insort
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+from threading import BrokenBarrierError
+
+import numpy as np
+
+from repro.dist.cluster import ClockStore
+from repro.dist.collectives import (
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    ring_reduce_scatter_time,
+)
+from repro.dist.comm import (
+    _REDUCERS,
+    PendingCollective,
+    _check_op,
+    _moved,
+    _ready,
+    _slot_free_time,
+)
+from repro.dist.padded import PaddedStack
+
+__all__ = [
+    "SHM_PREFIX",
+    "BusHandle",
+    "ShmBus",
+    "ShmAxisCommunicator",
+    "new_session_id",
+    "cleanup_orphans",
+]
+
+#: every segment of every session starts with this (the orphan sweep key)
+SHM_PREFIX = "plexus-rt-"
+
+# mailbox layout: fixed header, then 64-byte-aligned payloads
+_MAX_ARRAYS = 8
+_MAX_NDIM = 6
+_SEQ_OFF = 0
+_COUNT_OFF = 8
+_OVF_OFF = 16  # 64-byte ascii overflow-segment name ("" = inline payload)
+_REC_OFF = 80
+_REC_SIZE = 80  # 16s dtype + u64 ndim + 6*u64 shape + u64 reserved
+_ALIGN = 64
+#: first payload byte: the header rounded up so every payload stays aligned
+_PAYLOAD_OFF = (_REC_OFF + _MAX_ARRAYS * _REC_SIZE + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def new_session_id() -> str:
+    return f"{SHM_PREFIX}{uuid.uuid4().hex[:12]}"
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def cleanup_orphans(prefix: str = SHM_PREFIX) -> list[str]:
+    """Unlink leftover session segments from ``/dev/shm``; returns names.
+
+    The backstop for hard-killed runs (and the CI orphan guard): segment
+    names are namespaced by :data:`SHM_PREFIX`, so the sweep can never touch
+    another application's shared memory.  Swept names are also dropped from
+    the stdlib resource tracker (best effort) so it does not re-unlink them
+    at interpreter exit.
+
+    Note on tracker discipline: a spawned worker shares its launcher's
+    resource tracker, so segment registrations are deliberately left in
+    place — if the whole process tree dies without running ``unlink``, the
+    tracker still reclaims every segment.
+    """
+    removed = []
+    root = Path("/dev/shm")
+    if not root.is_dir():  # non-Linux: nothing to sweep
+        return removed
+    for p in root.glob(prefix + "*"):
+        try:
+            p.unlink()
+            removed.append(p.name)
+        except OSError:
+            continue
+        try:  # private stdlib surface; a failed unregister only risks noise
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister("/" + p.name, "shared_memory")
+        except Exception:
+            pass
+    return removed
+
+
+@dataclass
+class BusHandle:
+    """Picklable description of one session's bus (passed at spawn)."""
+
+    session: str
+    n_workers: int
+    capacity: int
+    barrier_a: object  # multiprocessing.Barrier (inheritable at spawn)
+    barrier_b: object
+    timeout: float
+
+    def mailbox_name(self, worker: int) -> str:
+        return f"{self.session}-m{worker}"
+
+
+class ShmBus:
+    """One endpoint of the session bus (launcher or one worker).
+
+    The launcher constructs with ``worker_id=None`` to *create* the
+    mailboxes (and later :meth:`unlink` them); each worker attaches with
+    its id and uses :meth:`exchange_concat` for rendezvous traffic.
+    """
+
+    def __init__(self, handle: BusHandle, worker_id: int | None = None) -> None:
+        self.handle = handle
+        self.worker_id = worker_id
+        self._seq = 0
+        self._closed = False
+        self._my_overflow: SharedMemory | None = None
+        create = worker_id is None
+        self._mailboxes: list[SharedMemory] = []
+        try:
+            for w in range(handle.n_workers):
+                shm = SharedMemory(
+                    name=handle.mailbox_name(w), create=create, size=handle.capacity
+                )
+                self._mailboxes.append(shm)
+        except BaseException:
+            # a mid-loop failure (ENOSPC, name collision) must not leave the
+            # segments created so far behind — the guarantee holds even
+            # before the launcher gets a bus object to close
+            for shm in self._mailboxes:
+                try:
+                    shm.close()
+                    if create:
+                        shm.unlink()
+                except OSError:
+                    pass
+            raise
+
+    # -- rendezvous ----------------------------------------------------------
+    def _wait(self, barrier) -> None:
+        try:
+            barrier.wait(self.handle.timeout)
+        except BrokenBarrierError:
+            raise RuntimeError(
+                "shared-memory rendezvous broken: a peer worker died or "
+                f"timed out (worker {self.worker_id})"
+            ) from None
+
+    def _post(self, arrays: list[np.ndarray]) -> None:
+        if len(arrays) > _MAX_ARRAYS:
+            raise ValueError(f"at most {_MAX_ARRAYS} arrays per message")
+        box = self._mailboxes[self.worker_id]
+        buf = box.buf
+        offsets = []
+        off = _PAYLOAD_OFF
+        for a in arrays:
+            if a.ndim > _MAX_NDIM:
+                raise ValueError(f"at most {_MAX_NDIM} dimensions per array")
+            offsets.append(off)
+            off = _align(off + a.nbytes)
+        total = off
+        if self._my_overflow is not None:
+            # previous message's overflow: every peer read it before the
+            # last barrier B, so it is safe to drop now
+            self._my_overflow.close()
+            self._my_overflow.unlink()
+            self._my_overflow = None
+        if total <= self.handle.capacity:
+            ovf_name = b""
+            payload = buf
+        else:
+            name = f"{self.handle.session}-o{self.worker_id}-{self._seq}"
+            self._my_overflow = SharedMemory(name=name, create=True, size=total)
+            ovf_name = name.encode()
+            payload = self._my_overflow.buf
+        struct.pack_into("<QQ", buf, _SEQ_OFF, self._seq, len(arrays))
+        struct.pack_into("64s", buf, _OVF_OFF, ovf_name)
+        for i, (a, o) in enumerate(zip(arrays, offsets)):
+            rec = _REC_OFF + i * _REC_SIZE
+            shape = list(a.shape) + [0] * (_MAX_NDIM - a.ndim)
+            struct.pack_into(
+                "<16sQ6QQ", buf, rec, a.dtype.str.encode(), a.ndim, *shape, 0
+            )
+            dst = np.frombuffer(payload, dtype=a.dtype, count=a.size, offset=o)
+            np.copyto(dst.reshape(a.shape), a, casting="no")
+
+    def _read_views(self, worker: int) -> tuple[list[np.ndarray], SharedMemory | None]:
+        """Zero-copy views of ``worker``'s message (+ attached overflow)."""
+        buf = self._mailboxes[worker].buf
+        seq, count = struct.unpack_from("<QQ", buf, _SEQ_OFF)
+        if seq != self._seq:
+            raise RuntimeError(
+                f"shared-memory rendezvous out of sync: worker {worker} is at "
+                f"message {seq}, expected {self._seq} — the SPMD collective "
+                "order diverged between workers"
+            )
+        (raw_name,) = struct.unpack_from("64s", buf, _OVF_OFF)
+        ovf_name = raw_name.rstrip(b"\0").decode()
+        ovf = None
+        payload = buf
+        if ovf_name:
+            ovf = SharedMemory(name=ovf_name)
+            payload = ovf.buf
+        views = []
+        off = _PAYLOAD_OFF
+        for i in range(count):
+            rec = _REC_OFF + i * _REC_SIZE
+            dt_raw, ndim, *rest = struct.unpack_from("<16sQ6QQ", buf, rec)
+            shape = tuple(rest[:ndim])
+            dtype = np.dtype(dt_raw.rstrip(b"\0").decode())
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            v = np.frombuffer(payload, dtype=dtype, count=size, offset=off)
+            views.append(v.reshape(shape))
+            off = _align(off + size * dtype.itemsize)
+        return views, ovf
+
+    def exchange_concat(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        """Rendezvous with every peer; returns, per posted slot, the workers'
+        arrays concatenated along axis 0 in worker (= rank) order."""
+        if self.worker_id is None:
+            raise RuntimeError("the launcher endpoint does not exchange")
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        self._seq += 1
+        self._post(arrays)
+        self._wait(self.handle.barrier_a)
+        per_worker = []
+        attached = []
+        views = None
+        for w in range(self.handle.n_workers):
+            views, ovf = self._read_views(w)
+            per_worker.append(views)
+            if ovf is not None:
+                attached.append(ovf)
+        out = [
+            np.concatenate([pv[k] for pv in per_worker], axis=0)
+            for k in range(len(arrays))
+        ]
+        # drop every zero-copy view before unmapping: an ndarray still
+        # referencing the buffer would make close() raise BufferError
+        del views, per_worker
+        for ovf in attached:  # copied out above; release the mapping
+            try:
+                ovf.close()
+            except BufferError:  # pragma: no cover - GC-timing backstop
+                pass
+        self._wait(self.handle.barrier_b)
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release this endpoint's mappings (workers; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._my_overflow is not None:
+            try:
+                self._my_overflow.close()
+                self._my_overflow.unlink()
+            except (OSError, BufferError):
+                pass
+            self._my_overflow = None
+        for shm in self._mailboxes:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the session's segments (launcher only; idempotent).
+
+        Also sweeps any overflow segments of the session that a crashed
+        worker left behind.
+        """
+        self.close()
+        for shm in self._mailboxes:
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+        cleanup_orphans(self.handle.session)
+
+
+# ---------------------------------------------------------------------------
+# the cross-worker axis communicator
+# ---------------------------------------------------------------------------
+
+
+class ShmAxisCommunicator:
+    """Handle-based collectives over the worker-crossing (Z) grid axis.
+
+    Drop-in for the stacked surface of
+    :class:`~repro.dist.comm.AxisCommunicator`: ``all_reduce`` /
+    ``all_gather`` / ``reduce_scatter`` on the worker's local
+    ``(local_world, *shard)`` stack return a
+    :class:`~repro.dist.comm.PendingCollective` whose completion charge hits
+    only the local ranks — so ``grid.comm(axis)`` call sites (layers, loss,
+    prefetch schedules) work unchanged.
+
+    At issue, the workers rendezvous once: local clock slices and operand
+    slices are exchanged, and every worker computes the identical full-cube
+    result (the ``_local_*`` variants below mirror the in-process
+    ``stacked_*_data`` math bitwise) and the identical schedule.  Link
+    busy-until state and bounded in-flight queues are *replicated* per
+    worker under ``("shmz", gi)`` keys in the local :class:`ClockStore` —
+    deterministic inputs keep every replica bitwise consistent, and storing
+    them in the store means ``reset``/``snapshot`` handle them exactly like
+    in-process link state.
+
+    Restrictions (enforced loudly): padded quasi-equal stacks and the
+    ``map_*`` per-rank-list path are not supported — the multiproc backend
+    requires uniform sharding and the batched engine — and ``max_inflight``
+    composes only with intra-node Z groups (the per-NIC node queue of an
+    inter-node Z group would be shared with worker-local links, which a
+    replicated queue cannot express).
+    """
+
+    def __init__(
+        self,
+        bus: ShmBus,
+        store: ClockStore,
+        cube: tuple[int, int, int],
+        lo: int,
+        hi: int,
+        bandwidth: float,
+        latency: float,
+        issue_overhead_s: float = 0.0,
+        internode: bool = False,
+    ) -> None:
+        self.bus = bus
+        self.store = store
+        self.cube = cube
+        self.size = cube[0]
+        self.world = cube[0] * cube[1] * cube[2]
+        self.lo, self.hi = lo, hi
+        self.local_cube = ((hi - lo) // (cube[1] * cube[2]), cube[1], cube[2])
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.issue_overhead_s = float(issue_overhead_s)
+        self._internode = internode
+        self._n_groups = cube[1] * cube[2]
+
+    # -- rendezvous + schedule -------------------------------------------------
+    def _check(self, stacked) -> np.ndarray:
+        if isinstance(stacked, PaddedStack):
+            raise NotImplementedError(
+                "padded (quasi-equal) stacks over the multiproc shared-memory "
+                "transport are not supported; the multiproc backend requires "
+                "divisible (uniform) sharding — use backend='inproc'"
+            )
+        stacked = np.asarray(stacked)
+        if stacked.shape[0] != self.hi - self.lo:
+            raise ValueError(
+                f"stacked operand has leading extent {stacked.shape[0]}, "
+                f"expected local world {self.hi - self.lo}"
+            )
+        return stacked
+
+    def _post(self, stacked: np.ndarray, full_phase: str) -> tuple[np.ndarray, np.ndarray]:
+        store = self.store
+        if self.issue_overhead_s:
+            store.clocks += self.issue_overhead_s
+            store.record_all(full_phase, self.issue_overhead_s)
+        clocks, full = self.bus.exchange_concat([store.clocks, stacked])
+        return clocks, full
+
+    def _key(self, gi: int) -> tuple:
+        return ("shmz", gi)
+
+    def _acquire_slots(self, ready: np.ndarray, phase: str, limit: int) -> np.ndarray:
+        """Replicated bounded-queue issue, one (intra-node) Z group each."""
+        if self._internode:
+            raise RuntimeError(
+                "max_inflight with inter-node Z-axis groups is not supported "
+                "on the multiproc backend (the shared per-NIC node queue "
+                "would span worker boundaries); use backend='inproc'"
+            )
+        store = self.store
+        rf = ready.ravel()
+        t_free = np.asarray(
+            [
+                _slot_free_time(store, (self._key(gi),), float(r), limit)
+                for gi, r in enumerate(rf)
+            ]
+        )
+        if np.all(t_free <= rf):
+            return ready
+        tf = t_free.reshape(ready.shape)
+        lift = tf > ready
+        local = store.clocks.reshape(self.local_cube)
+        wait = np.where(lift, tf - local, 0.0)
+        np.copyto(local, np.broadcast_to(tf, local.shape), where=lift)
+        store.record_all(phase, wait.ravel())
+        return np.maximum(ready, tf)
+
+    def _issue(self, full_clocks: np.ndarray, duration: float, phase: str, result):
+        store = self.store
+        full_phase = "comm:" + phase
+        cube = full_clocks.reshape(self.cube)
+        ready = np.maximum.reduce(cube, axis=0, keepdims=True)
+        limit = store.max_inflight
+        if limit is not None:
+            ready = self._acquire_slots(ready, full_phase, limit)
+        links = store.links
+        link = np.asarray(
+            [links.get(self._key(gi), 0.0) for gi in range(self._n_groups)]
+        ).reshape(ready.shape)
+        begin = np.maximum(ready, link)
+        end = begin + duration
+        for gi, v in enumerate(end.ravel()):
+            links[self._key(gi)] = float(v)
+            if limit is not None:
+                insort(store.link_queues.setdefault(self._key(gi), []), float(v))
+        record = ("cube", self.local_cube, begin, end, duration)
+        return PendingCollective(full_phase, result, store, record)
+
+    # -- local-slice data math -------------------------------------------------
+    # These mirror the pure ``stacked_*_data`` helpers of ``repro.dist.comm``
+    # but materialize only the *local* ranks' rows of the result — the
+    # group reductions still run over the identical full-cube operand in the
+    # identical order, so every value is bitwise the in-process one; what is
+    # skipped is the (world/local)-fold redundant result copy.
+
+    def _local_all_reduce(self, full: np.ndarray, op: str) -> np.ndarray:
+        tail = full.shape[1:]
+        cube = full.reshape(self.cube + tail)
+        reduced = _REDUCERS[op](cube, axis=0)  # (gx, gy) + tail
+        out = np.empty((self.local_cube[0],) + reduced.shape, dtype=full.dtype)
+        out[...] = reduced[None]
+        return out.reshape((self.hi - self.lo,) + tail)
+
+    def _local_all_gather(self, full: np.ndarray) -> np.ndarray:
+        g = self.cube[0]
+        m, tail = full.shape[1], full.shape[2:]
+        cube = full.reshape(self.cube + (m,) + tail)
+        moved = _moved(cube, 0, 2)  # (gx, gy, Gz, m) + tail
+        gathered = moved.reshape(self.cube[1], self.cube[2], g * m, *tail)
+        out = np.empty((self.local_cube[0],) + gathered.shape, dtype=full.dtype)
+        out[...] = gathered[None]
+        return out.reshape((self.hi - self.lo, g * m) + tail)
+
+    def _local_reduce_scatter(self, full: np.ndarray, op: str) -> np.ndarray:
+        g = self.cube[0]
+        m, tail = full.shape[1], full.shape[2:]
+        if m % g != 0:
+            raise ValueError(f"row extent {m} does not divide into {g} blocks")
+        cube = full.reshape(self.cube + (m,) + tail)
+        reduced = _REDUCERS[op](cube, axis=0)  # (gx, gy, m) + tail
+        mb = m // g
+        blocks = reduced.reshape(self.cube[1], self.cube[2], g, mb, *tail)
+        z0 = self.lo // (self.cube[1] * self.cube[2])
+        z1 = self.hi // (self.cube[1] * self.cube[2])
+        sel = np.moveaxis(blocks, 2, 0)[z0:z1]  # (lz, gx, gy, mb) + tail
+        return np.ascontiguousarray(sel).reshape((self.hi - self.lo, mb) + tail)
+
+    # -- stacked collectives ---------------------------------------------------
+    def all_reduce(self, stacked, op: str = "sum", phase: str = "all_reduce"):
+        stacked = self._check(stacked)
+        _check_op(op)
+        if self.size == 1:
+            return _ready("comm:" + phase, stacked)
+        full_clocks, full = self._post(stacked, "comm:" + phase)
+        result = self._local_all_reduce(full, op)
+        t = ring_all_reduce_time(stacked[0].nbytes, self.size, self.bandwidth, self.latency)
+        return self._issue(full_clocks, t, phase, result)
+
+    def all_gather(self, stacked, phase: str = "all_gather"):
+        stacked = self._check(stacked)
+        if self.size == 1:
+            return _ready("comm:" + phase, stacked)
+        full_clocks, full = self._post(stacked, "comm:" + phase)
+        result = self._local_all_gather(full)
+        t = ring_all_gather_time(
+            self.size * stacked[0].nbytes, self.size, self.bandwidth, self.latency
+        )
+        return self._issue(full_clocks, t, phase, result)
+
+    def reduce_scatter(self, stacked, op: str = "sum", phase: str = "reduce_scatter"):
+        stacked = self._check(stacked)
+        _check_op(op)
+        if self.size == 1:
+            return _ready("comm:" + phase, stacked)
+        full_clocks, full = self._post(stacked, "comm:" + phase)
+        result = self._local_reduce_scatter(full, op)
+        t = ring_reduce_scatter_time(
+            stacked[0].nbytes, self.size, self.bandwidth, self.latency
+        )
+        return self._issue(full_clocks, t, phase, result)
+
+    # -- unsupported surfaces --------------------------------------------------
+    def _no_map(self, *_a, **_k):
+        raise NotImplementedError(
+            "per-rank-list (map_*) collectives are not available over the "
+            "multiproc transport; the multiproc backend runs the batched "
+            "engine only — use backend='inproc' for the per-rank oracle"
+        )
+
+    map_all_reduce = _no_map
+    map_all_gather = _no_map
+    map_reduce_scatter = _no_map
