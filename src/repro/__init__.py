@@ -68,6 +68,9 @@ def train_plexus(
     overlap: bool = False,
     backend: str = "inproc",
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    max_restarts: int = 2,
 ) -> TrainResult:
     """One-call end-to-end training on a scaled synthetic dataset.
 
@@ -84,6 +87,14 @@ def train_plexus(
     cube across ``workers`` OS processes connected by the shared-memory
     transport (``repro.runtime``) — same losses, weights, clocks and phase
     totals, bit for bit, on the supported (uniform-sharding) workloads.
+
+    ``checkpoint_dir`` enables epoch-boundary checkpointing (every
+    ``checkpoint_every`` epochs): ``epochs`` becomes a *total* target, so
+    an interrupted invocation re-run with the same directory resumes from
+    the newest checkpoint and completes the job — returning the same
+    ``TrainResult``, bit for bit, as an uninterrupted run.  On the
+    multiproc backend a crashed worker additionally triggers automatic
+    respawn-and-replay (up to ``max_restarts`` times) inside the call.
     """
     from dataclasses import replace
 
@@ -132,8 +143,21 @@ def train_plexus(
             labels=ds.labels,
             train_mask=ds.train_mask,
         )
-        with MultiprocTrainer(spec) as trainer:
-            return trainer.train(epochs)
+        with MultiprocTrainer(
+            spec,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            max_restarts=max_restarts,
+        ) as trainer:
+            if checkpoint_dir is None:
+                return trainer.train(epochs)
+            # total-target semantics: a resumed invocation completes the job
+            remaining = epochs - trainer.epochs_done
+            if remaining > 0:
+                trainer.train(remaining)
+            result = TrainResult()
+            result.epochs.extend(trainer.history[:epochs])
+            return result
     cluster = VirtualCluster(gpus, machine)
     model = PlexusGCN(
         cluster,
@@ -145,4 +169,29 @@ def train_plexus(
         dims,
         options,
     )
-    return PlexusTrainer(model).train(epochs)
+    trainer = PlexusTrainer(model)
+    if checkpoint_dir is None:
+        return trainer.train(epochs)
+    # inproc checkpointed loop: resume from the newest checkpoint, train in
+    # checkpoint_every-sized stretches, seal each with a checkpoint
+    from pathlib import Path
+
+    from repro.core.trainer import EpochStats
+    from repro.runtime import checkpoint as _ckpt
+
+    root = Path(checkpoint_dir)
+    done, history = 0, []
+    found = _ckpt.latest_checkpoint(root)
+    if found is not None:
+        epoch, path = found
+        manifest = trainer.load_checkpoint(path)
+        done = epoch
+        history = [EpochStats(**e) for e in manifest.get("history", [])][:epoch]
+    while done < epochs:
+        n = min(checkpoint_every, epochs - done)
+        history.extend(trainer.train(n).epochs)
+        done += n
+        trainer.save_checkpoint(root, done, history)
+    result = TrainResult()
+    result.epochs.extend(history[:epochs])
+    return result

@@ -62,6 +62,9 @@ def _cmd_train(args) -> int:
         overlap=args.overlap,
         backend=args.backend,
         workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_restarts=args.max_restarts,
     )
     for i, e in enumerate(result.epochs):
         print(f"epoch {i:3d}  loss {e.loss:.6f}  time {e.epoch_time * 1e3:9.3f} ms "
@@ -119,6 +122,24 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="worker-process count for --backend multiproc (each owns whole "
              "z-planes of the cube; 1 <= workers <= Gz; default min(2, Gz))",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="enable epoch-boundary checkpointing into this directory; "
+             "--epochs becomes a total target, so re-running after an "
+             "interruption resumes from the newest checkpoint and produces "
+             "the bitwise-identical TrainResult",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="epochs between checkpoints (default 1; only with "
+             "--checkpoint-dir)",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=2,
+        help="multiproc only: automatic respawn-and-replay attempts from the "
+             "latest checkpoint after a worker crash (default 2; requires "
+             "--checkpoint-dir)",
     )
     p.set_defaults(func=_cmd_train)
 

@@ -368,6 +368,77 @@ class PlexusTrainer:
             result.epochs.append(self.train_epoch())
         return result
 
+    def save_checkpoint(
+        self,
+        root,
+        epoch: int,
+        history: list[EpochStats] = (),
+        keep: int = 2,
+    ):
+        """Write the epoch-``epoch`` checkpoint under ``root``.
+
+        Produces the same on-disk layout the multiproc launcher writes —
+        ``<root>/ckpt-<NNNNNN>/`` with one ``[0, world)`` slice file and a
+        sealing manifest — so either backend can resume from it (the
+        multiproc pool reassembles and re-slices the single file, which
+        requires the link state to be quiescent: eager schedules, or any
+        schedule without a cross-epoch prefetch in flight).  The directory
+        is staged and renamed into place, and all but the newest ``keep``
+        checkpoints are pruned.  Returns the checkpoint path.
+        """
+        import os
+        import shutil
+        from dataclasses import asdict
+        from pathlib import Path
+
+        from repro.runtime import checkpoint as ckpt
+
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        name = ckpt.checkpoint_name(epoch)
+        tmp = root / f"{name}.tmp"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        state = ckpt.model_state(self.model)
+        ckpt.write_worker_state(tmp, state)
+        ckpt.write_manifest(
+            tmp,
+            {
+                "format": ckpt.FORMAT_VERSION,
+                "backend": self.backend,
+                "epoch": int(epoch),
+                "world": self.model.cluster.world_size,
+                "layer_dims": list(self.model.layer_dims),
+                "layout": [[state["lo"], state["hi"]]],
+                "history": [asdict(e) for e in history],
+            },
+        )
+        final = root / name
+        if final.exists():
+            shutil.rmtree(final)
+        os.rename(tmp, final)
+        ckpt.prune_checkpoints(root, keep)
+        return final
+
+    def load_checkpoint(self, path, verbatim: bool | None = None) -> dict:
+        """Restore this trainer's model from a checkpoint directory.
+
+        ``path`` is one ``ckpt-<NNNNNN>`` directory (either backend's).
+        ``verbatim=None`` restores link state exactly when the checkpoint
+        holds a ``[0, world)`` slice file — valid when this model is the
+        one that saved it, or a fresh process replaying the identical
+        construction; pass ``False`` to force the quiescent (cross-layout)
+        policy.  Returns the checkpoint's manifest.
+        """
+        from repro.runtime import checkpoint as ckpt
+
+        state, exact = ckpt.load_slice(path, 0, self.model.cluster.world_size)
+        ckpt.restore_model(
+            self.model, state, verbatim_links=exact if verbatim is None else verbatim
+        )
+        return ckpt.read_manifest(path)
+
     def evaluate(self, mask_global: np.ndarray) -> float:
         """Distributed accuracy on an arbitrary global node mask.
 

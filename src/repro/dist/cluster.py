@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dist.topology import LAPTOP, MachineSpec
+from repro.errors import CollectiveMisuse
 
 __all__ = ["TimelineBreakdown", "Timeline", "VirtualRank", "VirtualCluster"]
 
@@ -206,7 +207,7 @@ class ClockStore:
             pending = {k: h for k, h in pending.items() if k not in exempt}
         if pending:
             phases = ", ".join(sorted({h.phase for h in pending.values()}))
-            raise RuntimeError(
+            raise CollectiveMisuse(
                 f"{len(pending)} collective handle(s) issued but never "
                 f"waited: {phases}; every PendingCollective must be wait()-ed "
                 "before the epoch accounting closes"

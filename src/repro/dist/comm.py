@@ -67,6 +67,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from repro.dist.cluster import ClockStore
+from repro.errors import CollectiveMisuse
 from repro.dist.collectives import (
     AxisComm,
     all_to_all_time,
@@ -264,7 +265,7 @@ class PendingCollective:
     def wait(self):
         """Charge the completion cost and return the collective's result."""
         if self._waited:
-            raise RuntimeError(
+            raise CollectiveMisuse(
                 f"collective handle {self.phase!r} waited twice; a "
                 "PendingCollective completes exactly once"
             )
@@ -348,7 +349,7 @@ class PendingMap:
 
     def wait(self) -> list:
         if self._waited:
-            raise RuntimeError(
+            raise CollectiveMisuse(
                 f"collective handle {self.phase!r} waited twice; a "
                 "PendingMap completes exactly once"
             )

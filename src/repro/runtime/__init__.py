@@ -11,8 +11,15 @@ zero-copy shared-memory tensor transport underneath the existing
 * :mod:`repro.runtime.worker` — the slice-local cluster/grid/model and the
   spawned-process command loop.
 * :mod:`repro.runtime.launch` — :class:`~repro.runtime.launch.MultiprocTrainer`
-  (the ``backend="multiproc"`` trainer) and the
+  (the ``backend="multiproc"`` trainer, with supervision and
+  respawn-and-replay recovery) and the
   :func:`~repro.runtime.launch.build_trainer` backend seam.
+* :mod:`repro.runtime.checkpoint` — epoch-boundary checkpoint/restore:
+  per-worker slice files plus a sealing manifest, loadable verbatim (same
+  layout) or reassembled/re-sliced across layouts and backends.
+* :mod:`repro.runtime.faults` — the deterministic fault-injection harness
+  (:class:`~repro.runtime.faults.FaultPlan` chaos schedules threaded
+  through the workload spec).
 
 Guarantee: ``backend="multiproc"`` is bitwise identical to
 ``backend="inproc"`` — losses, weights, per-rank clocks and phase totals —
@@ -20,6 +27,8 @@ on every supported configuration (uniform sharding, batched engine, eager
 or overlap schedules); the in-process simulator remains the parity oracle.
 """
 
+from repro.runtime.checkpoint import latest_checkpoint, prune_checkpoints
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.launch import (
     MultiprocTrainer,
     WorkloadSpec,
@@ -34,6 +43,10 @@ __all__ = [
     "WorkloadSpec",
     "build_trainer",
     "is_uniform_workload",
+    "FaultPlan",
+    "FaultInjector",
+    "latest_checkpoint",
+    "prune_checkpoints",
     "ShmAxisCommunicator",
     "ShmBus",
     "cleanup_orphans",

@@ -1,0 +1,496 @@
+"""Epoch-boundary checkpoint/restore for both training backends.
+
+A checkpoint is a directory ``<root>/ckpt-<NNNNNN>/`` holding one pickle
+per worker slice (``worker-<lo>-<hi>.pkl``) plus a ``MANIFEST.json``
+written *last* — a checkpoint without a manifest is torn and ignored.
+Both backends produce and consume the same files: the multiproc launcher
+has each worker write its own slice (parallel I/O), the inproc trainer
+writes one ``[0, world)`` file; loading reassembles whatever layout was
+saved into whatever layout is asked for.
+
+What a slice file captures — everything the bitwise-replay guarantee
+needs:
+
+* **weights** — the stacked ``(local_world, rows, cols)`` parameter arrays;
+* **Adam moments** — step counter ``t`` plus the first/second-moment
+  stacks (restored with ``np.copyto`` so the optimizer's parameter
+  aliasing into the live weight stacks is preserved);
+* **ClockStore snapshot** — clocks, per-phase and per-category totals,
+  link busy-until state and bounded in-flight queues;
+* **in-flight-handle inventory** — the cross-epoch F prefetch
+  (:class:`~repro.dist.comm.PendingCollective`) when one is in flight at
+  the boundary: its phase, schedule record, and gathered result;
+* **RNG streams** — the SpMM noise sampler's generator state (inproc
+  only; the multiproc backend rejects the noise model at validation).
+
+Two restore policies:
+
+* **verbatim** — for a respawned worker of the *same* layout: a fresh
+  process replays the identical SPMD construction order, so the saved
+  integer link keys of :data:`~repro.dist.comm._LINK_KEYS` (and the
+  stable ``("shmz", gi)`` keys) mean the same links, and link state plus
+  the pending handle restore exactly.  This is what the launcher's
+  respawn-and-replay uses, and it is bitwise for eager *and* overlap
+  schedules.
+* **quiescent** — for a *different* layout or model instance (backend
+  switching): link keys are not portable, so restore demands the link
+  state be quiescent — every busy-until and queue entry at or below the
+  minimum clock, and no pending handle — and then drops it.  A quiescent
+  link reserves nothing in the future, so dropping it leaves every later
+  ``begin = max(ready, link)`` decision unchanged: still bitwise.  A
+  checkpoint that is not quiescent (an overlap schedule's cross-epoch
+  prefetch in flight) refuses loudly with :class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import stack_data
+from repro.errors import CheckpointError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "checkpoint_name",
+    "worker_file_name",
+    "model_state",
+    "restore_model",
+    "write_worker_state",
+    "load_slice",
+    "load_cube_state",
+    "write_manifest",
+    "read_manifest",
+    "latest_checkpoint",
+    "prune_checkpoints",
+]
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+_CKPT_PREFIX = "ckpt-"
+
+
+def checkpoint_name(epoch: int) -> str:
+    return f"{_CKPT_PREFIX}{epoch:06d}"
+
+
+def worker_file_name(lo: int, hi: int) -> str:
+    return f"worker-{lo:05d}-{hi:05d}.pkl"
+
+
+# ---------------------------------------------------------------------------
+# capture
+# ---------------------------------------------------------------------------
+
+
+def _capture_pending(handle) -> dict | None:
+    """Serialize an in-flight cross-epoch prefetch handle, or None.
+
+    The handle's schedule record (``("cube", shape, begin, end, duration)``)
+    and its result array are plain picklable data; the store reference is
+    re-attached at restore.
+    """
+    if handle is None:
+        return None
+    record = getattr(handle, "_record", None)
+    if getattr(handle, "handles", None) is None or handle.handles() != (handle,):
+        raise CheckpointError(
+            "only a single primitive PendingCollective can be checkpointed "
+            "in flight (the cross-epoch F prefetch)"
+        )
+    return {
+        "phase": handle.phase,
+        "record": record,
+        "result": getattr(handle, "_result", None),
+    }
+
+
+def model_state(model) -> dict:
+    """Everything one model slice needs for bitwise restore (see module doc)."""
+    if model.engine != "batched":
+        raise CheckpointError(
+            "checkpointing supports the batched engine only; the per-rank "
+            "oracle keeps no stacked optimizer state to capture"
+        )
+    cluster = model.cluster
+    store = cluster.store
+    lo = getattr(cluster, "lo", 0)
+    hi = getattr(cluster, "hi", cluster.world_size)
+    weights = {
+        f"W{i}": stack_data(layer.w_stack).copy()
+        for i, layer in enumerate(model.layers)
+    }
+    if model.options.trainable_features:
+        weights["F0"] = stack_data(model.f0_stack).copy()
+    opt = model.optimizer
+    noise = model.options.noise
+    return {
+        "format": FORMAT_VERSION,
+        "lo": lo,
+        "hi": hi,
+        "clocks": store.clocks.copy(),
+        "by_phase": {k: v.copy() for k, v in store.by_phase.items()},
+        "by_category": {k: v.copy() for k, v in store.by_category.items()},
+        "links": {
+            k: (v.copy() if isinstance(v, np.ndarray) else v)
+            for k, v in store.links.items()
+        },
+        "link_queues": {k: list(v) for k, v in store.link_queues.items()},
+        "weights": weights,
+        "adam": {
+            "t": opt.t,
+            "m": {k: v.copy() for k, v in opt.m.items()},
+            "v": {k: v.copy() for k, v in opt.v.items()},
+        },
+        "pending_f0": _capture_pending(model._f0_pending),
+        "noise_rng": noise._rng.bit_generator.state if noise is not None else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# restore
+# ---------------------------------------------------------------------------
+
+
+def _min_clock(state: dict) -> float:
+    return float(np.min(state["clocks"])) if len(state["clocks"]) else 0.0
+
+
+def _links_quiescent(state: dict) -> bool:
+    """True when no link reserves anything past the minimum clock — the
+    condition under which link state can be dropped without changing any
+    future scheduling decision."""
+    if state["pending_f0"] is not None:
+        return False
+    t_min = _min_clock(state)
+    for v in state["links"].values():
+        if float(np.max(v)) > t_min:
+            return False
+    for q in state["link_queues"].values():
+        if q and max(q) > t_min:
+            return False
+    return True
+
+
+def _rebuild_pending(captured: dict, store):
+    from repro.dist.comm import PendingCollective
+
+    return PendingCollective(
+        captured["phase"], captured["result"], store, captured["record"]
+    )
+
+
+def restore_model(model, state: dict, verbatim_links: bool = True) -> None:
+    """Load a slice state into a live model, in place.
+
+    ``verbatim_links=True`` is the respawn path (same layout, fresh
+    process): link state and the pending-handle inventory restore exactly.
+    With ``False`` (cross-layout/backend) the state must be quiescent —
+    see the module docstring.
+    """
+    if state.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format {state.get('format')!r} != supported {FORMAT_VERSION}"
+        )
+    if model.engine != "batched":
+        raise CheckpointError("checkpoint restore supports the batched engine only")
+    cluster = model.cluster
+    store = cluster.store
+    lo = getattr(cluster, "lo", 0)
+    hi = getattr(cluster, "hi", cluster.world_size)
+    if (state["lo"], state["hi"]) != (lo, hi):
+        raise CheckpointError(
+            f"slice state covers ranks [{state['lo']}, {state['hi']}), model "
+            f"covers [{lo}, {hi}) — assemble and re-slice via load_slice()"
+        )
+    expect = {f"W{i}" for i in range(len(model.layers))}
+    if model.options.trainable_features:
+        expect.add("F0")
+    if set(state["weights"]) != expect:
+        raise CheckpointError(
+            f"checkpoint parameters {sorted(state['weights'])} do not match "
+            f"the model's {sorted(expect)}"
+        )
+    if not verbatim_links and not _links_quiescent(state):
+        raise CheckpointError(
+            "checkpoint link state is not quiescent (in-flight transfers "
+            "reserve time past the epoch boundary — an overlap prefetch "
+            "schedule); it can only restore verbatim into the same worker "
+            "layout, not across layouts/backends"
+        )
+    if (state["noise_rng"] is None) != (model.options.noise is None):
+        raise CheckpointError(
+            "checkpoint and model disagree on the SpMM noise model "
+            "(one has an RNG stream, the other does not)"
+        )
+
+    # parameters + Adam moments: in-place copies preserve the optimizer's
+    # aliasing of the live weight stacks
+    opt = model.optimizer
+    for i, layer in enumerate(model.layers):
+        dst = stack_data(layer.w_stack)
+        src = state["weights"][f"W{i}"]
+        if dst.shape != src.shape or dst.dtype != src.dtype:
+            raise CheckpointError(
+                f"W{i}: checkpoint {src.shape}/{src.dtype} does not match "
+                f"model {dst.shape}/{dst.dtype}"
+            )
+        np.copyto(dst, src, casting="no")
+    if model.options.trainable_features:
+        np.copyto(stack_data(model.f0_stack), state["weights"]["F0"], casting="no")
+    opt.t = state["adam"]["t"]
+    for k in opt.m:
+        np.copyto(opt.m[k], state["adam"]["m"][k], casting="no")
+        np.copyto(opt.v[k], state["adam"]["v"][k], casting="no")
+
+    # clock/timeline state
+    store.clocks[:] = state["clocks"]
+    store.by_phase.clear()
+    store.by_phase.update({k: v.copy() for k, v in state["by_phase"].items()})
+    store.by_category.clear()
+    store.by_category.update({k: v.copy() for k, v in state["by_category"].items()})
+    store.links.clear()
+    store.link_queues.clear()
+    store.outstanding.clear()
+    model._f0_pending = None
+    if verbatim_links:
+        store.links.update(
+            {
+                k: (v.copy() if isinstance(v, np.ndarray) else v)
+                for k, v in state["links"].items()
+            }
+        )
+        store.link_queues.update({k: list(v) for k, v in state["link_queues"].items()})
+        if state["pending_f0"] is not None:
+            model._f0_pending = _rebuild_pending(state["pending_f0"], store)
+    if state["noise_rng"] is not None:
+        model.options.noise._rng.bit_generator.state = state["noise_rng"]
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+
+
+def write_worker_state(ckpt_dir: str | Path, state: dict) -> Path:
+    path = Path(ckpt_dir) / worker_file_name(state["lo"], state["hi"])
+    with open(path, "wb") as f:
+        pickle.dump(state, f, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def _load_states(ckpt_dir: Path) -> list[dict]:
+    states = []
+    for p in sorted(ckpt_dir.glob("worker-*.pkl")):
+        with open(p, "rb") as f:
+            states.append(pickle.load(f))
+    if not states:
+        raise CheckpointError(f"no worker slice files in {ckpt_dir}")
+    states.sort(key=lambda s: s["lo"])
+    return states
+
+
+def load_cube_state(ckpt_dir: str | Path) -> dict:
+    """Assemble every slice file of a checkpoint into one ``[0, world)``
+    state (quiescence is checked by the consumer, not here)."""
+    states = _load_states(Path(ckpt_dir))
+    cursor = 0
+    for s in states:
+        if s["lo"] != cursor:
+            raise CheckpointError(
+                f"checkpoint slices do not tile the cube: gap/overlap at "
+                f"rank {cursor} (next slice starts at {s['lo']})"
+            )
+        cursor = s["hi"]
+    world = cursor
+    t = states[0]["adam"]["t"]
+    if any(s["adam"]["t"] != t for s in states):
+        raise CheckpointError("checkpoint slices disagree on the Adam step counter")
+    if any(s["pending_f0"] is not None for s in states):
+        raise CheckpointError(
+            "checkpoint holds an in-flight cross-epoch prefetch; it can only "
+            "restore verbatim into the same worker layout"
+        )
+
+    def assemble_buckets(key: str) -> dict:
+        labels = sorted({k for s in states for k in s[key]})
+        out = {}
+        for label in labels:
+            vec = np.zeros(world)
+            for s in states:
+                if label in s[key]:
+                    vec[s["lo"] : s["hi"]] = s[key][label]
+            out[label] = vec
+        return out
+
+    merged_links: dict = {}
+    merged_queues: dict = {}
+    for s in states:
+        merged_links.update(s["links"])
+        merged_queues.update({k: list(v) for k, v in s["link_queues"].items()})
+    return {
+        "format": FORMAT_VERSION,
+        "lo": 0,
+        "hi": world,
+        "clocks": np.concatenate([s["clocks"] for s in states]),
+        "by_phase": assemble_buckets("by_phase"),
+        "by_category": assemble_buckets("by_category"),
+        "links": merged_links,
+        "link_queues": merged_queues,
+        "weights": {
+            name: np.concatenate([s["weights"][name] for s in states], axis=0)
+            for name in states[0]["weights"]
+        },
+        "adam": {
+            "t": t,
+            "m": {
+                k: np.concatenate([s["adam"]["m"][k] for s in states], axis=0)
+                for k in states[0]["adam"]["m"]
+            },
+            "v": {
+                k: np.concatenate([s["adam"]["v"][k] for s in states], axis=0)
+                for k in states[0]["adam"]["v"]
+            },
+        },
+        "pending_f0": None,
+        "noise_rng": states[0]["noise_rng"],
+    }
+
+
+def _slice_state(cube: dict, lo: int, hi: int) -> dict:
+    """Cut ``[lo, hi)`` out of an assembled cube state.
+
+    The cut state carries no link/pending inventory (the caller enforces
+    quiescence before trusting it), so it is restored with
+    ``verbatim_links=False`` semantics baked in.
+    """
+    return {
+        "format": FORMAT_VERSION,
+        "lo": lo,
+        "hi": hi,
+        "clocks": cube["clocks"][lo:hi].copy(),
+        "by_phase": {k: v[lo:hi].copy() for k, v in cube["by_phase"].items()},
+        "by_category": {k: v[lo:hi].copy() for k, v in cube["by_category"].items()},
+        "links": {},
+        "link_queues": {},
+        "weights": {k: v[lo:hi].copy() for k, v in cube["weights"].items()},
+        "adam": {
+            "t": cube["adam"]["t"],
+            "m": {k: v[lo:hi].copy() for k, v in cube["adam"]["m"].items()},
+            "v": {k: v[lo:hi].copy() for k, v in cube["adam"]["v"].items()},
+        },
+        "pending_f0": None,
+        "noise_rng": cube["noise_rng"],
+    }
+
+
+def load_slice(ckpt_dir: str | Path, lo: int, hi: int) -> tuple[dict, bool]:
+    """The state for ranks ``[lo, hi)`` of a checkpoint.
+
+    Returns ``(state, exact)``: ``exact`` is True when the checkpoint holds
+    a slice file of exactly this layout (verbatim restore is valid).
+    Otherwise the cube is assembled from whatever layout was saved and
+    re-sliced, which demands quiescent link state.
+    """
+    ckpt_dir = Path(ckpt_dir)
+    exact = ckpt_dir / worker_file_name(lo, hi)
+    if exact.is_file():
+        with open(exact, "rb") as f:
+            return pickle.load(f), True
+    cube = load_cube_state(ckpt_dir)
+    if not (0 <= lo < hi <= cube["hi"]):
+        raise CheckpointError(
+            f"requested slice [{lo}, {hi}) outside checkpoint world "
+            f"[0, {cube['hi']})"
+        )
+    if not _links_quiescent(cube):
+        raise CheckpointError(
+            "checkpoint link state is not quiescent; it can only restore "
+            "verbatim into the layout that saved it "
+            f"(no {worker_file_name(lo, hi)} present)"
+        )
+    return _slice_state(cube, lo, hi), False
+
+
+# ---------------------------------------------------------------------------
+# manifest + directory management
+# ---------------------------------------------------------------------------
+
+
+def write_manifest(ckpt_dir: str | Path, manifest: dict) -> Path:
+    """Write the validity marker (atomically, and always last)."""
+    path = Path(ckpt_dir) / MANIFEST_NAME
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as f:
+        json.dump(manifest, f, indent=1)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(ckpt_dir: str | Path) -> dict:
+    path = Path(ckpt_dir) / MANIFEST_NAME
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise CheckpointError(f"{ckpt_dir} has no {MANIFEST_NAME} (torn checkpoint?)")
+    except json.JSONDecodeError as e:
+        raise CheckpointError(f"unreadable manifest {path}: {e}")
+
+
+def latest_checkpoint(root: str | Path) -> tuple[int, Path] | None:
+    """The newest *complete* checkpoint under ``root``: ``(epoch, path)``.
+
+    Directories without a manifest (torn writes, in-progress temp dirs) are
+    skipped; None when no usable checkpoint exists.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    best: tuple[int, Path] | None = None
+    for p in root.iterdir():
+        if not p.is_dir() or not p.name.startswith(_CKPT_PREFIX):
+            continue
+        if not (p / MANIFEST_NAME).is_file():
+            continue
+        try:
+            epoch = int(p.name[len(_CKPT_PREFIX) :])
+        except ValueError:
+            continue
+        if best is None or epoch > best[0]:
+            best = (epoch, p)
+    return best
+
+
+def prune_checkpoints(root: str | Path, keep: int) -> list[Path]:
+    """Delete all but the newest ``keep`` complete checkpoints; returns the
+    removed paths.  ``keep < 1`` is a no-op (never delete the only restore
+    point)."""
+    if keep < 1:
+        return []
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    complete = sorted(
+        (
+            p
+            for p in root.iterdir()
+            if p.is_dir()
+            and p.name.startswith(_CKPT_PREFIX)
+            and (p / MANIFEST_NAME).is_file()
+        ),
+        key=lambda p: p.name,
+    )
+    removed = []
+    for p in complete[:-keep]:
+        shutil.rmtree(p, ignore_errors=True)
+        removed.append(p)
+    return removed

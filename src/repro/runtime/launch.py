@@ -10,22 +10,49 @@ in-process trainer produces — losses, epoch times and the comm/comp
 breakdown are assembled from the workers' raw per-rank vectors so they are
 *bitwise identical* to ``backend="inproc"`` on the same workload.
 
+Supervision: a monitor thread watches ``proc.is_alive()`` while the
+launcher's message pump drains per-epoch heartbeat beacons from every
+control pipe — a dead worker surfaces *mid-epoch* as a typed
+:class:`~repro.errors.WorkerCrashed` (worker id, exit code, last completed
+epoch) within the monitor interval instead of waiting out the bus barrier
+timeout, and a wedged worker that stops beating trips
+:class:`~repro.errors.BarrierTimeout` when ``heartbeat_timeout`` is set.
+Worker-raised exceptions arrive as structured reports and re-raise as
+typed exceptions carrying the worker's original traceback text.
+
+Fault tolerance: with ``checkpoint_dir`` set, the pool checkpoints every
+``checkpoint_every`` epochs (each worker writes its own slice file, the
+launcher seals the directory with a manifest) and ``train()`` gains
+respawn-and-replay — on a recoverable failure the whole pool is torn down
+(the rendezvous is broken anyway), respawned from the latest checkpoint
+after an exponential backoff (at most ``max_restarts`` times), and the
+remaining epochs replayed.  Because every piece of state that feeds the
+simulation is restored — weights, Adam moments, clocks, link reservations,
+the in-flight prefetch inventory — the replayed run is **bitwise
+identical** to an uninterrupted one.
+
 Cleanup discipline (the no-leaked-``/dev/shm`` guarantee): the launcher
 creates every segment and is the only unlinker.  ``close()`` — also run
 from ``__exit__``, the ``atexit`` hook, and the failure path of every
-command — terminates stragglers, joins with a timeout, unlinks the
-session's segments and sweeps any overflow blocks a crashed worker left
-behind.  A worker death mid-collective breaks the rendezvous barrier, so
-surviving workers error out promptly instead of hanging, and the launcher
-turns the failure into a :class:`RuntimeError` carrying the worker's
-traceback.
+command — stops workers with an escalation ladder (close command →
+``terminate()`` → ``kill()``, logging who ignored what), joins with a
+timeout, unlinks the session's segments and sweeps any overflow blocks a
+crashed worker left behind.
 """
 
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing as mp
-from dataclasses import dataclass, field
+import os
+import shutil
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field, replace
+from multiprocessing import connection as mp_connection
+from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
@@ -35,14 +62,38 @@ from repro.core.grid import GridConfig, _grid_coords, axis_roles
 from repro.core.sharding import LayerSharding
 from repro.core.trainer import EpochStats, TrainResult
 from repro.dist.topology import PERLMUTTER, MachineSpec
+from repro.errors import (
+    BarrierTimeout,
+    CheckpointError,
+    PayloadCorruption,
+    PlexusRuntimeError,
+    RendezvousDesync,
+    WorkerCrashed,
+    WorkerFailed,
+)
 from repro.graph.shardio import LoadReport
+from repro.runtime import checkpoint as ckpt
+from repro.runtime.faults import FaultPlan
 from repro.runtime.shm import BusHandle, ShmBus, new_session_id
 from repro.runtime.worker import worker_main, worker_slice
 
 __all__ = ["WorkloadSpec", "MultiprocTrainer", "build_trainer", "is_uniform_workload"]
 
+logger = logging.getLogger(__name__)
+
 #: default per-worker mailbox size; payloads beyond it take the overflow path
 DEFAULT_MAILBOX_BYTES = 8 << 20
+
+#: failures the respawn-and-replay policy treats as transient
+_RECOVERABLE = (WorkerCrashed, BarrierTimeout, PayloadCorruption, RendezvousDesync)
+
+#: worker-reported exception types that map onto their own launcher-side class
+_ETYPE_MAP = {
+    "BarrierTimeout": BarrierTimeout,
+    "PayloadCorruption": PayloadCorruption,
+    "RendezvousDesync": RendezvousDesync,
+    "WorkerCrashed": WorkerCrashed,
+}
 
 
 @dataclass
@@ -53,6 +104,10 @@ class WorkloadSpec:
     :func:`~repro.graph.shardio.save_sharded` directory holding the
     *normalized* adjacency, from which each worker reads only the file
     blocks overlapping its own shard rows.
+
+    ``faults`` optionally carries a chaos schedule — a
+    :class:`~repro.runtime.faults.FaultPlan` (or a sequence of them) fired
+    deterministically inside the targeted workers.
     """
 
     config: GridConfig
@@ -65,6 +120,7 @@ class WorkloadSpec:
     labels: np.ndarray | None = None
     train_mask: np.ndarray | None = None
     shard_dir: str | None = None
+    faults: tuple = ()
 
     def __post_init__(self) -> None:
         in_memory = self.adjacency is not None
@@ -76,6 +132,10 @@ class WorkloadSpec:
             raise ValueError("in-memory data needs adjacency, features, labels, train_mask")
         if self.shard_dir is not None and self.train_mask is None:
             raise ValueError("shard_dir data still needs the (small) train_mask array")
+        if isinstance(self.faults, FaultPlan):
+            self.faults = (self.faults,)
+        else:
+            self.faults = tuple(self.faults or ())
 
 
 def is_uniform_workload(config: GridConfig, n: int, layer_dims: list[int]) -> bool:
@@ -122,9 +182,46 @@ def _validate_spec(spec: WorkloadSpec) -> None:
     worker_slice(spec.config, spec.workers, 0)  # validates the worker count
 
 
+class _PoolMonitor(threading.Thread):
+    """Watches ``proc.is_alive()`` across the pool; records the first death.
+
+    The monitor never raises and never touches the pipes — it only flips
+    ``death`` so the launcher's pump loop (the single reader) can drain any
+    final error report before converting the death into a typed exception.
+    """
+
+    def __init__(self, procs: list, interval: float = 0.2) -> None:
+        super().__init__(name="plexus-pool-monitor", daemon=True)
+        self._procs = procs
+        self._interval = interval
+        self._stop_event = threading.Event()
+        self.death: tuple[int, int | None] | None = None
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            for w, p in enumerate(self._procs):
+                if not p.is_alive():
+                    self.death = (w, p.exitcode)
+                    return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+
 class MultiprocTrainer:
     """Drives epochs across a pool of worker processes (one rank-cube slice
-    each) with the :class:`~repro.core.trainer.PlexusTrainer` surface."""
+    each) with the :class:`~repro.core.trainer.PlexusTrainer` surface.
+
+    With ``checkpoint_dir`` set the trainer checkpoints every
+    ``checkpoint_every`` epochs, resumes from the newest complete
+    checkpoint found in the directory at construction, and recovers from
+    transient worker failures by respawning the pool from the latest
+    checkpoint (at most ``max_restarts`` times, exponential backoff from
+    ``restart_backoff`` seconds) and replaying — bitwise identical to an
+    uninterrupted run.  ``heartbeat_timeout`` (seconds, default off) bounds
+    how long a worker may train without emitting its per-epoch heartbeat
+    before it is declared wedged.
+    """
 
     backend = "multiproc"
 
@@ -133,79 +230,269 @@ class MultiprocTrainer:
         spec: WorkloadSpec,
         mailbox_bytes: int = DEFAULT_MAILBOX_BYTES,
         timeout: float = 120.0,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 1,
+        max_restarts: int = 2,
+        restart_backoff: float = 0.25,
+        heartbeat_timeout: float | None = None,
+        keep_checkpoints: int = 2,
     ) -> None:
         _validate_spec(spec)
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.spec = spec
         self.workers = spec.workers
         self.timeout = timeout
+        self._mailbox_bytes = int(mailbox_bytes)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.heartbeat_timeout = heartbeat_timeout
+        self.keep_checkpoints = keep_checkpoints
         self._closed = False
-        ctx = mp.get_context("spawn")
-        self._bus_handle = BusHandle(
-            session=new_session_id(),
-            n_workers=spec.workers,
-            capacity=int(mailbox_bytes),
-            barrier_a=ctx.Barrier(spec.workers),
-            barrier_b=ctx.Barrier(spec.workers),
-            timeout=timeout,
-        )
-        self._bus = ShmBus(self._bus_handle)  # creator endpoint: owns unlink
+        self._history: list[EpochStats] = []
+        #: absolute epoch of _history[0] — nonzero when resuming from a
+        #: manifest that carries no (or partial) epoch history
+        self._hist_base = 0
+        self._epochs_done = 0
+        self._restarts_used = 0
+        self._training = False
+        self._monitor: _PoolMonitor | None = None
+        self._bus: ShmBus | None = None
         self._procs: list = []
         self._conns: list = []
         atexit.register(self.close)
+        restore = None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            found = ckpt.latest_checkpoint(self.checkpoint_dir)
+            if found is not None:
+                epoch, path = found
+                manifest = ckpt.read_manifest(path)
+                self._check_manifest(manifest)
+                self._epochs_done = epoch
+                self._history = [
+                    EpochStats(**e) for e in manifest.get("history", [])
+                ][:epoch]
+                self._hist_base = epoch - len(self._history)
+                restore = (str(path), epoch)
         try:
-            for w in range(spec.workers):
-                parent, child = ctx.Pipe()
-                p = ctx.Process(
-                    target=worker_main,
-                    args=(w, self._bus_handle, spec, child),
-                    name=f"plexus-runtime-worker-{w}",
-                    daemon=True,
-                )
-                p.start()
-                child.close()
-                self._procs.append(p)
-                self._conns.append(parent)
-            for w in range(spec.workers):
-                self._recv(w)  # ("ready", w) or the build error
+            self._spawn_pool(restore, clean=False)
         except BaseException:
             self.close()
             raise
 
-    # -- command plumbing ------------------------------------------------------
+    # -- pool lifecycle --------------------------------------------------------
+    def _spawn_pool(self, restore: tuple[str, int] | None, clean: bool) -> None:
+        """Create the bus, spawn the workers, wait for every ready report.
+
+        ``restore`` is ``(checkpoint_path, epoch)`` for resume/recovery;
+        ``clean=True`` (the recovery respawn) strips the fault plans —
+        injected faults model transient failures, so replay runs clean.
+        """
+        spec = self.spec
+        if clean and spec.faults:
+            spec = replace(spec, faults=())
+        ctx = mp.get_context("spawn")
+        self._bus_handle = BusHandle(
+            session=new_session_id(),
+            n_workers=self.workers,
+            capacity=self._mailbox_bytes,
+            barrier_a=ctx.Barrier(self.workers),
+            barrier_b=ctx.Barrier(self.workers),
+            timeout=self.timeout,
+        )
+        self._bus = ShmBus(self._bus_handle)  # creator endpoint: owns unlink
+        self._procs = []
+        self._conns = []
+        self._inbox: list[deque] = [deque() for _ in range(self.workers)]
+        self._eof: set[int] = set()
+        self._worker_epoch = [self._epochs_done] * self.workers
+        self._last_beat = [time.monotonic()] * self.workers
+        for w in range(self.workers):
+            parent, child = ctx.Pipe()
+            p = ctx.Process(
+                target=worker_main,
+                args=(w, self._bus_handle, spec, child, restore),
+                name=f"plexus-runtime-worker-{w}",
+                daemon=True,
+            )
+            p.start()
+            child.close()
+            self._procs.append(p)
+            self._conns.append(parent)
+        self._monitor = _PoolMonitor(self._procs)
+        self._monitor.start()
+        for w in range(self.workers):
+            self._recv(w)  # ("ready", w) or the build/restore error
+
+    def _teardown_pool(self) -> None:
+        """Stop the pool after a failure (hard path: the rendezvous is
+        already broken, so workers are terminated, not asked).  The trainer
+        itself stays open — recovery may respawn."""
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+        self._stop_procs(graceful=False)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = []
+        self._procs = []
+        if self._bus is not None:
+            self._bus.unlink()
+            self._bus = None
+
+    def _stop_procs(self, graceful: bool) -> None:
+        """The stop ladder: optional close command, then SIGTERM, then
+        SIGKILL — logging which workers needed escalation."""
+        if graceful:
+            for conn in self._conns:
+                try:
+                    conn.send(("close",))
+                except (OSError, ValueError):
+                    pass
+            for p in self._procs:
+                p.join(timeout=5.0)
+        need_term = [w for w, p in enumerate(self._procs) if p.is_alive()]
+        for w in need_term:
+            self._procs[w].terminate()
+        for w in need_term:
+            self._procs[w].join(timeout=5.0)
+        need_kill = [w for w in need_term if self._procs[w].is_alive()]
+        for w in need_kill:
+            self._procs[w].kill()
+        for w in need_kill:
+            self._procs[w].join(timeout=5.0)
+        if graceful and need_term:
+            logger.warning(
+                "workers %s ignored the close command; escalated to SIGTERM",
+                need_term,
+            )
+        if need_kill:
+            logger.warning(
+                "workers %s ignored SIGTERM during the 5 s join; escalated "
+                "to SIGKILL",
+                need_kill,
+            )
+
+    # -- message pump / supervision --------------------------------------------
+    def _pump(self, timeout: float) -> None:
+        """Drain every ready control pipe into the per-worker inboxes.
+
+        Heartbeat beacons are consumed here (liveness timestamps + the
+        per-worker last-completed-epoch record); everything else queues for
+        :meth:`_recv`.  EOF marks the pipe dead for the failure checks.
+        """
+        live = [c for w, c in enumerate(self._conns) if w not in self._eof]
+        if not live:
+            return
+        for conn in mp_connection.wait(live, timeout):
+            w = self._conns.index(conn)
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._eof.add(w)
+                    break
+                if msg[0] == "beat":
+                    self._last_beat[msg[1]] = time.monotonic()
+                    self._worker_epoch[msg[1]] = msg[2]
+                else:
+                    self._inbox[w].append(msg)
+
+    def _check_failures(self) -> None:
+        """Convert a monitored death / stale heartbeat into a typed raise."""
+        death = self._monitor.death if self._monitor is not None else None
+        if death is None:
+            for w in sorted(self._eof):
+                if not self._inbox[w] and not self._procs[w].is_alive():
+                    death = (w, self._procs[w].exitcode)
+                    break
+        if death is not None:
+            self._worker_down(*death)
+        if self._training and self.heartbeat_timeout is not None:
+            now = time.monotonic()
+            for w, beat in enumerate(self._last_beat):
+                stale = now - beat
+                if stale > self.heartbeat_timeout:
+                    last = self._worker_epoch[w]
+                    self._teardown_pool()
+                    raise BarrierTimeout(
+                        f"multiproc runtime failed: worker {w} heartbeat "
+                        f"stale for {stale:.1f}s (> {self.heartbeat_timeout}s) "
+                        f"— wedged mid-epoch after epoch {last}",
+                        worker_id=w,
+                        last_epoch=last,
+                    )
+
+    def _worker_down(self, w: int, exitcode: int | None):
+        """A worker process died: drain its final words, then raise typed."""
+        self._pump(0)
+        inbox = self._inbox[w]
+        while inbox:
+            kind, payload = inbox.popleft()
+            if kind == "error":
+                self._raise_worker_error(payload)
+        last = self._worker_epoch[w]
+        self._teardown_pool()
+        raise WorkerCrashed(
+            f"multiproc runtime failed: worker {w} died (exit code "
+            f"{exitcode}) after epoch {last}",
+            worker_id=w,
+            exitcode=exitcode,
+            last_epoch=last,
+        )
+
+    def _raise_worker_error(self, payload):
+        """Re-raise a worker's structured error report launcher-side, as the
+        matching typed exception carrying the original traceback text."""
+        self._teardown_pool()
+        if not isinstance(payload, dict):  # legacy plain-text report
+            raise WorkerFailed(f"multiproc runtime failed: {payload}")
+        w = payload.get("worker")
+        etype = payload.get("etype", "Exception")
+        cls = _ETYPE_MAP.get(etype, WorkerFailed)
+        raise cls(
+            f"multiproc runtime failed: worker {w} raised {etype}: "
+            f"{payload.get('message')}",
+            worker_id=w,
+            last_epoch=self._worker_epoch[w] if w is not None else None,
+            traceback_text=payload.get("traceback"),
+        )
+
     def _recv(self, w: int):
         """Wait for worker ``w``'s reply; liveness-based, not deadline-based.
 
-        A long ``train`` command legitimately stays silent for many epochs,
-        so the launcher waits as long as the worker process is alive.  A
-        *wedged* worker cannot hang us silently: a broken rendezvous trips
-        the bus barrier timeout (``self.timeout``) inside the worker, which
-        reports the error here or dies — both end the poll loop.
+        A long ``train`` command legitimately stays quiet between heartbeat
+        beacons, so the launcher waits as long as the pool is healthy: the
+        pump drains every pipe while the failure checks watch the monitor's
+        death record and (when enabled) heartbeat staleness — a dead or
+        wedged worker ends the wait in well under the bus barrier timeout.
         """
-        conn = self._conns[w]
-        proc = self._procs[w]
-        while not conn.poll(1.0):
-            if not proc.is_alive() and not conn.poll(0):
-                self._fail(f"worker {w} died (exit code {proc.exitcode})")
-        try:
-            kind, payload = conn.recv()
-        except (EOFError, OSError):
-            self._fail(f"worker {w} died (exit code {proc.exitcode})")
+        inbox = self._inbox[w]
+        while not inbox:
+            self._pump(0.2)
+            if not inbox:
+                self._check_failures()
+        kind, payload = inbox.popleft()
         if kind == "error":
-            self._fail(payload)
+            self._raise_worker_error(payload)
         return payload
-
-    def _fail(self, message: str):
-        self.close()
-        raise RuntimeError(f"multiproc runtime failed: {message}")
 
     def _command(self, *msg) -> list:
         if self._closed:
-            raise RuntimeError("multiproc trainer is closed")
+            raise PlexusRuntimeError("multiproc trainer is closed")
         for w, conn in enumerate(self._conns):
             try:
                 conn.send(msg)
             except (OSError, ValueError):
-                self._fail(f"worker {w} died (exit code {self._procs[w].exitcode})")
+                self._worker_down(w, self._procs[w].exitcode)
         return [self._recv(w) for w in range(self.workers)]
 
     # -- trainer surface -------------------------------------------------------
@@ -218,22 +505,56 @@ class MultiprocTrainer:
         every rank to the cube max) so they must agree across workers —
         asserted here — and the breakdown means are taken over the
         assembled ``(world,)`` vectors, bitwise like the inproc trainer.
+
+        With ``checkpoint_dir`` set, training proceeds in
+        ``checkpoint_every``-sized stretches with a checkpoint after each,
+        and a recoverable worker failure triggers respawn-and-replay from
+        the latest checkpoint instead of raising (until ``max_restarts``
+        is exhausted).
         """
+        if self._closed:
+            raise PlexusRuntimeError("multiproc trainer is closed")
         if epochs <= 0:
             raise ValueError("epochs must be positive")
-        per_worker = self._command("train", epochs)
+        start = self._epochs_done
+        goal = start + epochs
+        while self._epochs_done < goal:
+            try:
+                self._train_stretch(goal)
+            except _RECOVERABLE as err:
+                self._recover(err)
         result = TrainResult()
-        for e in range(epochs):
+        result.epochs.extend(
+            self._history[start - self._hist_base : goal - self._hist_base]
+        )
+        return result
+
+    def _train_stretch(self, goal: int) -> None:
+        """One train command (up to ``checkpoint_every`` epochs) + the
+        checkpoint that seals it."""
+        n = goal - self._epochs_done
+        if self.checkpoint_dir is not None:
+            n = min(n, self.checkpoint_every)
+        self._training = True
+        self._last_beat = [time.monotonic()] * self.workers
+        try:
+            per_worker = self._command("train", n)
+        finally:
+            self._training = False
+        stretch: list[EpochStats] = []
+        for e in range(n):
             loss, t0, t1 = per_worker[0][e][:3]
             for w in range(1, self.workers):
                 if per_worker[w][e][:3] != (loss, t0, t1):
-                    self._fail(
-                        f"epoch {e}: workers disagree on (loss, t0, t1) — "
-                        "the SPMD execution diverged"
+                    self._teardown_pool()
+                    raise RendezvousDesync(
+                        f"multiproc runtime failed: epoch "
+                        f"{self._epochs_done + e}: workers disagree on "
+                        "(loss, t0, t1) — the SPMD execution diverged"
                     )
             comm = np.concatenate([per_worker[w][e][3] for w in range(self.workers)])
             comp = np.concatenate([per_worker[w][e][4] for w in range(self.workers)])
-            result.epochs.append(
+            stretch.append(
                 EpochStats(
                     loss=loss,
                     epoch_time=t1 - t0,
@@ -241,7 +562,99 @@ class MultiprocTrainer:
                     comp_time=float(np.mean(comp)),
                 )
             )
-        return result
+        self._history.extend(stretch)
+        self._epochs_done += n
+        if self.checkpoint_dir is not None:
+            self._save_checkpoint()
+
+    def _recover(self, err: PlexusRuntimeError) -> None:
+        """Respawn-and-replay: bounded retries with exponential backoff."""
+        if self.checkpoint_dir is None:
+            raise err
+        if self._restarts_used >= self.max_restarts:
+            logger.error(
+                "giving up after %d restart(s): %s",
+                self._restarts_used,
+                type(err).__name__,
+            )
+            raise err
+        self._restarts_used += 1
+        found = ckpt.latest_checkpoint(self.checkpoint_dir)
+        epoch, restore = (0, None) if found is None else (found[0], (str(found[1]), found[0]))
+        delay = self.restart_backoff * (2 ** (self._restarts_used - 1))
+        logger.warning(
+            "worker failure (%s: worker %s, last epoch %s); restart %d/%d "
+            "from epoch %d after %.2fs backoff",
+            type(err).__name__,
+            err.worker_id,
+            err.last_epoch,
+            self._restarts_used,
+            self.max_restarts,
+            epoch,
+            delay,
+        )
+        time.sleep(delay)
+        if restore is None:
+            self._hist_base = 0  # full replay from scratch re-records everything
+        del self._history[max(0, epoch - self._hist_base) :]
+        self._epochs_done = epoch
+        self._spawn_pool(restore, clean=True)
+
+    def _save_checkpoint(self) -> None:
+        """Checkpoint the pool at the current epoch boundary.
+
+        Workers write their own slice files into a temp directory (parallel
+        I/O); the launcher seals it with the manifest and renames it into
+        place, so a torn checkpoint is never mistaken for a complete one.
+        """
+        epoch = self._epochs_done
+        name = ckpt.checkpoint_name(epoch)
+        final = self.checkpoint_dir / name
+        tmp = self.checkpoint_dir / f"{name}.tmp-{self._bus_handle.session[-8:]}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        acks = self._command("checkpoint", str(tmp))
+        ckpt.write_manifest(
+            tmp,
+            {
+                "format": ckpt.FORMAT_VERSION,
+                "backend": self.backend,
+                "epoch": epoch,
+                "world": self.spec.config.total,
+                "layer_dims": list(self.spec.layer_dims),
+                "layout": sorted([list(a) for a in acks]),
+                "history": [asdict(e) for e in self._history],
+            },
+        )
+        if final.exists():
+            shutil.rmtree(final)
+        os.rename(tmp, final)
+        ckpt.prune_checkpoints(self.checkpoint_dir, self.keep_checkpoints)
+
+    def _check_manifest(self, manifest: dict) -> None:
+        if manifest.get("world") != self.spec.config.total or list(
+            manifest.get("layer_dims", [])
+        ) != list(self.spec.layer_dims):
+            raise CheckpointError(
+                f"checkpoint in {self.checkpoint_dir} was written for "
+                f"world={manifest.get('world')}, "
+                f"dims={manifest.get('layer_dims')} — this workload is "
+                f"world={self.spec.config.total}, dims={list(self.spec.layer_dims)}"
+            )
+
+    @property
+    def epochs_done(self) -> int:
+        """Epochs completed so far (including any resumed from checkpoint)."""
+        return self._epochs_done
+
+    @property
+    def history(self) -> list[EpochStats]:
+        """Completed epochs' stats, oldest first.  Starts at epoch 0 unless
+        the trainer resumed from a manifest with missing epoch history (a
+        checkpoint written without it), in which case the leading resumed
+        epochs are absent."""
+        return list(self._history)
 
     def state(self) -> dict:
         """Assembled cube-wide state for parity checks and reporting.
@@ -282,9 +695,16 @@ class MultiprocTrainer:
     def load_reports(self) -> list[LoadReport | None]:
         return self.state()["load_reports"]
 
+    def ping(self) -> list[int]:
+        """Liveness round-trip on every control pipe; returns worker ids."""
+        return self._command("ping")
+
     def reset(self) -> None:
         """Zero every worker's clocks and timelines (between runs)."""
         self._command("reset")
+        self._history = []
+        self._hist_base = 0
+        self._epochs_done = 0
 
     def evaluate(self, mask_global) -> float:
         raise NotImplementedError(
@@ -305,23 +725,18 @@ class MultiprocTrainer:
             return
         self._closed = True
         atexit.unregister(self.close)  # a closed trainer must be collectable
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-            except (OSError, ValueError):
-                pass
-        for p in self._procs:
-            p.join(timeout=5.0)
-        for p in self._procs:
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=5.0)
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+        self._stop_procs(graceful=True)
         for conn in self._conns:
             try:
                 conn.close()
             except OSError:
                 pass
-        self._bus.unlink()
+        if self._bus is not None:
+            self._bus.unlink()
+            self._bus = None
 
     def __enter__(self) -> "MultiprocTrainer":
         return self
@@ -342,17 +757,18 @@ class MultiprocTrainer:
         self._procs[w].join(timeout=self.timeout)
 
 
-def build_trainer(spec: WorkloadSpec, backend: str = "inproc"):
+def build_trainer(spec: WorkloadSpec, backend: str = "inproc", **kwargs):
     """The backend seam: one workload description, either trainer.
 
     ``"inproc"`` builds the whole cube in this process
     (:class:`~repro.core.trainer.PlexusTrainer` over a
     :class:`~repro.dist.cluster.VirtualCluster`) — the parity oracle;
-    ``"multiproc"`` launches the worker pool.  Requires in-memory data for
-    the inproc backend.
+    ``"multiproc"`` launches the worker pool (``kwargs`` pass through to
+    :class:`MultiprocTrainer`: checkpointing, supervision, timeouts).
+    Requires in-memory data for the inproc backend.
     """
     if backend == "multiproc":
-        return MultiprocTrainer(spec)
+        return MultiprocTrainer(spec, **kwargs)
     if backend != "inproc":
         raise ValueError(f"unknown backend {backend!r} (known: inproc, multiproc)")
     from repro.core.model import PlexusGCN
@@ -361,6 +777,8 @@ def build_trainer(spec: WorkloadSpec, backend: str = "inproc"):
 
     if spec.adjacency is None:
         raise ValueError("backend='inproc' needs in-memory data (adjacency, ...)")
+    if kwargs:
+        raise ValueError(f"backend='inproc' takes no launcher options: {sorted(kwargs)}")
     cluster = VirtualCluster(spec.config.total, spec.machine)
     model = PlexusGCN(
         cluster,

@@ -38,8 +38,10 @@ orphan guard and the crash-path backstop.
 
 from __future__ import annotations
 
+import os
 import struct
 import uuid
+import zlib
 from bisect import insort
 from dataclasses import dataclass
 from multiprocessing.shared_memory import SharedMemory
@@ -63,6 +65,13 @@ from repro.dist.comm import (
     _slot_free_time,
 )
 from repro.dist.padded import PaddedStack
+from repro.errors import (
+    BarrierTimeout,
+    CollectiveMisuse,
+    PayloadCorruption,
+    RendezvousDesync,
+    UnsupportedWorkload,
+)
 
 __all__ = [
     "SHM_PREFIX",
@@ -81,8 +90,9 @@ _MAX_ARRAYS = 8
 _MAX_NDIM = 6
 _SEQ_OFF = 0
 _COUNT_OFF = 8
-_OVF_OFF = 16  # 64-byte ascii overflow-segment name ("" = inline payload)
-_REC_OFF = 80
+_CRC_OFF = 16  # u64 slot holding the CRC32 of the payload arrays, in order
+_OVF_OFF = 24  # 64-byte ascii overflow-segment name ("" = inline payload)
+_REC_OFF = 88
 _REC_SIZE = 80  # 16s dtype + u64 ndim + 6*u64 shape + u64 reserved
 _ALIGN = 64
 #: first payload byte: the header rounded up so every payload stays aligned
@@ -90,21 +100,53 @@ _PAYLOAD_OFF = (_REC_OFF + _MAX_ARRAYS * _REC_SIZE + _ALIGN - 1) // _ALIGN * _AL
 
 
 def new_session_id() -> str:
-    return f"{SHM_PREFIX}{uuid.uuid4().hex[:12]}"
+    """A fresh session id, ``<prefix><launcher-pid>p<random>``.
+
+    The embedded pid is the orphan sweep's liveness key: a sweep can tell a
+    dead session's leftovers from a concurrently *running* sibling session
+    (same prefix, different launcher) and leave the latter alone.
+    """
+    return f"{SHM_PREFIX}{os.getpid()}p{uuid.uuid4().hex[:10]}"
+
+
+def _owner_pid(name: str) -> int | None:
+    """The launcher pid embedded in a segment name, or None (old/foreign
+    name shapes parse as ownerless and are treated as orphans)."""
+    rest = name[len(SHM_PREFIX) :] if name.startswith(SHM_PREFIX) else name
+    i = 0
+    while i < len(rest) and rest[i].isdigit():
+        i += 1
+    if i == 0 or i >= len(rest) or rest[i] != "p":
+        return None
+    return int(rest[:i])
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    return True
 
 
 def _align(n: int) -> int:
     return (n + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
-def cleanup_orphans(prefix: str = SHM_PREFIX) -> list[str]:
+def cleanup_orphans(prefix: str = SHM_PREFIX, include_live: bool = False) -> list[str]:
     """Unlink leftover session segments from ``/dev/shm``; returns names.
 
     The backstop for hard-killed runs (and the CI orphan guard): segment
     names are namespaced by :data:`SHM_PREFIX`, so the sweep can never touch
-    another application's shared memory.  Swept names are also dropped from
-    the stdlib resource tracker (best effort) so it does not re-unlink them
-    at interpreter exit.
+    another application's shared memory — and a session whose launcher
+    process (the pid embedded in the session id) is still alive is a
+    *running sibling*, not an orphan, so its segments are skipped unless
+    ``include_live=True`` (used by :meth:`ShmBus.unlink`, which sweeps only
+    its own session's prefix).  Swept names are also dropped from the
+    stdlib resource tracker (best effort) so it does not re-unlink them at
+    interpreter exit.
 
     Note on tracker discipline: a spawned worker shares its launcher's
     resource tracker, so segment registrations are deliberately left in
@@ -116,6 +158,10 @@ def cleanup_orphans(prefix: str = SHM_PREFIX) -> list[str]:
     if not root.is_dir():  # non-Linux: nothing to sweep
         return removed
     for p in root.glob(prefix + "*"):
+        if not include_live:
+            pid = _owner_pid(p.name)
+            if pid is not None and _pid_alive(pid):
+                continue  # a live session owns this segment
         try:
             p.unlink()
             removed.append(p.name)
@@ -151,11 +197,24 @@ class ShmBus:
     The launcher constructs with ``worker_id=None`` to *create* the
     mailboxes (and later :meth:`unlink` them); each worker attaches with
     its id and uses :meth:`exchange_concat` for rendezvous traffic.
+
+    Every frame header carries a CRC32 of the posted payload arrays, and
+    every read verifies it — torn or corrupted shared memory raises
+    :class:`~repro.errors.PayloadCorruption` at read time instead of
+    propagating garbage numerics.  An optional
+    :class:`~repro.runtime.faults.FaultInjector` hooks the rendezvous at
+    its named points (chaos testing).
     """
 
-    def __init__(self, handle: BusHandle, worker_id: int | None = None) -> None:
+    def __init__(
+        self,
+        handle: BusHandle,
+        worker_id: int | None = None,
+        faults=None,
+    ) -> None:
         self.handle = handle
         self.worker_id = worker_id
+        self.faults = faults
         self._seq = 0
         self._closed = False
         self._my_overflow: SharedMemory | None = None
@@ -185,9 +244,10 @@ class ShmBus:
         try:
             barrier.wait(self.handle.timeout)
         except BrokenBarrierError:
-            raise RuntimeError(
+            raise BarrierTimeout(
                 "shared-memory rendezvous broken: a peer worker died or "
-                f"timed out (worker {self.worker_id})"
+                f"timed out (worker {self.worker_id})",
+                worker_id=self.worker_id,
             ) from None
 
     def _post(self, arrays: list[np.ndarray]) -> None:
@@ -219,6 +279,10 @@ class ShmBus:
             payload = self._my_overflow.buf
         struct.pack_into("<QQ", buf, _SEQ_OFF, self._seq, len(arrays))
         struct.pack_into("64s", buf, _OVF_OFF, ovf_name)
+        # checksum incrementally over each contiguous array copy — the
+        # alignment gaps between payloads hold stale bytes from earlier
+        # messages and must stay outside the CRC
+        crc = 0
         for i, (a, o) in enumerate(zip(arrays, offsets)):
             rec = _REC_OFF + i * _REC_SIZE
             shape = list(a.shape) + [0] * (_MAX_NDIM - a.ndim)
@@ -227,16 +291,19 @@ class ShmBus:
             )
             dst = np.frombuffer(payload, dtype=a.dtype, count=a.size, offset=o)
             np.copyto(dst.reshape(a.shape), a, casting="no")
+            crc = zlib.crc32(dst, crc)
+        struct.pack_into("<Q", buf, _CRC_OFF, crc)
 
     def _read_views(self, worker: int) -> tuple[list[np.ndarray], SharedMemory | None]:
         """Zero-copy views of ``worker``'s message (+ attached overflow)."""
         buf = self._mailboxes[worker].buf
-        seq, count = struct.unpack_from("<QQ", buf, _SEQ_OFF)
+        seq, count, posted_crc = struct.unpack_from("<QQQ", buf, _SEQ_OFF)
         if seq != self._seq:
-            raise RuntimeError(
+            raise RendezvousDesync(
                 f"shared-memory rendezvous out of sync: worker {worker} is at "
                 f"message {seq}, expected {self._seq} — the SPMD collective "
-                "order diverged between workers"
+                "order diverged between workers",
+                worker_id=worker,
             )
         (raw_name,) = struct.unpack_from("64s", buf, _OVF_OFF)
         ovf_name = raw_name.rstrip(b"\0").decode()
@@ -246,6 +313,7 @@ class ShmBus:
             ovf = SharedMemory(name=ovf_name)
             payload = ovf.buf
         views = []
+        crc = 0
         off = _PAYLOAD_OFF
         for i in range(count):
             rec = _REC_OFF + i * _REC_SIZE
@@ -254,19 +322,38 @@ class ShmBus:
             dtype = np.dtype(dt_raw.rstrip(b"\0").decode())
             size = int(np.prod(shape, dtype=np.int64)) if shape else 1
             v = np.frombuffer(payload, dtype=dtype, count=size, offset=off)
+            crc = zlib.crc32(v, crc)
             views.append(v.reshape(shape))
             off = _align(off + size * dtype.itemsize)
+        if crc != posted_crc:
+            views.clear()  # release the buffer views before unmapping
+            v = None
+            if ovf is not None:
+                try:
+                    ovf.close()
+                except BufferError:  # pragma: no cover - GC-timing backstop
+                    pass
+            raise PayloadCorruption(
+                f"shared-memory payload from worker {worker} failed its CRC32 "
+                f"check (message {seq}: posted {posted_crc:#010x}, read "
+                f"{crc:#010x}) — the mailbox bytes were corrupted in flight",
+                worker_id=worker,
+            )
         return views, ovf
 
     def exchange_concat(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
         """Rendezvous with every peer; returns, per posted slot, the workers'
         arrays concatenated along axis 0 in worker (= rank) order."""
         if self.worker_id is None:
-            raise RuntimeError("the launcher endpoint does not exchange")
+            raise CollectiveMisuse("the launcher endpoint does not exchange")
         arrays = [np.ascontiguousarray(a) for a in arrays]
         self._seq += 1
         self._post(arrays)
+        if self.faults is not None:
+            self.faults.fire("pre_barrier", self)
         self._wait(self.handle.barrier_a)
+        if self.faults is not None:
+            self.faults.fire("mid_collective", self)
         per_worker = []
         attached = []
         views = None
@@ -288,7 +375,21 @@ class ShmBus:
             except BufferError:  # pragma: no cover - GC-timing backstop
                 pass
         self._wait(self.handle.barrier_b)
+        if self.faults is not None:
+            self.faults.exchange_done()
         return out
+
+    def corrupt_own_payload(self) -> None:
+        """Flip one byte of this worker's freshly posted payload (the
+        fault-injection harness's ``"corrupt"`` action; fires after
+        :meth:`_post`, before barrier A, so every reader's CRC32 check —
+        including this worker's own — trips)."""
+        payload = (
+            self._my_overflow.buf
+            if self._my_overflow is not None
+            else self._mailboxes[self.worker_id].buf
+        )
+        payload[_PAYLOAD_OFF] ^= 0xFF
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
@@ -321,7 +422,7 @@ class ShmBus:
                 shm.unlink()
             except OSError:
                 pass
-        cleanup_orphans(self.handle.session)
+        cleanup_orphans(self.handle.session, include_live=True)
 
 
 # ---------------------------------------------------------------------------
@@ -413,7 +514,7 @@ class ShmAxisCommunicator:
     def _acquire_slots(self, ready: np.ndarray, phase: str, limit: int) -> np.ndarray:
         """Replicated bounded-queue issue, one (intra-node) Z group each."""
         if self._internode:
-            raise RuntimeError(
+            raise UnsupportedWorkload(
                 "max_inflight with inter-node Z-axis groups is not supported "
                 "on the multiproc backend (the shared per-NIC node queue "
                 "would span worker boundaries); use backend='inproc'"

@@ -48,7 +48,10 @@ from repro.dist.collectives import AxisComm
 from repro.dist.comm import AxisCommunicator
 from repro.dist.group import ProcessGroup, axis_bandwidth
 from repro.dist.topology import MachineSpec
+from repro.errors import PlexusRuntimeError, UnsupportedWorkload
 from repro.graph.shardio import LoadReport, ShardedDataLoader
+from repro.runtime import checkpoint as ckpt
+from repro.runtime.faults import build_injector
 from repro.runtime.shm import BusHandle, ShmAxisCommunicator, ShmBus
 from repro.sparse.partition import block_slices
 
@@ -261,7 +264,7 @@ def load_worker_shards(
     make every row non-local).
     """
     if options.permutation != "none":
-        raise RuntimeError(
+        raise UnsupportedWorkload(
             "loading from a sharded directory requires permutation='none': "
             "a global node permutation would scatter every worker's shard "
             "rows across all file blocks"
@@ -354,18 +357,18 @@ def validate_multiproc_model(model: PlexusGCN) -> None:
     rank order) stay inproc-only.
     """
     if model.engine != "batched":
-        raise RuntimeError(
+        raise UnsupportedWorkload(
             "backend='multiproc' runs the batched engine only; the per-rank "
             "oracle stays on backend='inproc'"
         )
     if not model.uniform:
-        raise RuntimeError(
+        raise UnsupportedWorkload(
             "backend='multiproc' requires divisible (uniform) sharding: "
             "quasi-equal padded stacks have no shared-memory collective path "
             "yet — use backend='inproc' for indivisible configurations"
         )
     if model.options.noise is not None:
-        raise RuntimeError(
+        raise UnsupportedWorkload(
             "backend='multiproc' does not support the SpMM noise model (its "
             "RNG stream draws in global rank order); use backend='inproc'"
         )
@@ -393,28 +396,63 @@ def _worker_state(ctx: WorkerContext) -> dict:
     }
 
 
-def worker_main(worker_id: int, bus_handle: BusHandle, spec, conn) -> None:
+def worker_main(
+    worker_id: int, bus_handle: BusHandle, spec, conn, restore=None
+) -> None:
     """Spawned-process entry: build the slice, serve the command loop.
 
-    Every exit path — clean close, a raised error (including the trainer's
-    ``check_outstanding``), or KeyboardInterrupt — closes this endpoint's
-    shared-memory mappings; the launcher owns segment unlinking.
+    ``restore`` is ``(checkpoint_path, epoch)`` when the launcher respawns
+    the pool from a checkpoint: the worker loads its slice file before
+    reporting ready, and its epoch counter (heartbeat beacons, fault
+    targeting) continues from ``epoch``.
+
+    The command loop sends a ``("beat", worker, epochs_done)`` heartbeat
+    after every epoch of a ``train`` command — the supervisor's liveness
+    signal and its record of where replay must resume.  Failures are
+    reported as a structured dict (exception type, message, and the full
+    traceback text) so the launcher can re-raise a typed exception carrying
+    the original traceback.  Every exit path — clean close, a raised error
+    (including the trainer's ``check_outstanding``), or KeyboardInterrupt —
+    closes this endpoint's shared-memory mappings; the launcher owns
+    segment unlinking.
     """
     bus = None
     try:
-        bus = ShmBus(bus_handle, worker_id=worker_id)
+        faults = build_injector(getattr(spec, "faults", None), worker_id)
+        bus = ShmBus(bus_handle, worker_id=worker_id, faults=faults)
         ctx = build_worker(spec, worker_id, bus)
+        epochs_done = 0
+        if restore is not None:
+            path, epoch = restore
+            state, exact = ckpt.load_slice(path, ctx.cluster.lo, ctx.cluster.hi)
+            ckpt.restore_model(ctx.model, state, verbatim_links=exact)
+            epochs_done = epoch
         conn.send(("ready", worker_id))
         while True:
             msg = conn.recv()
             cmd, args = msg[0], msg[1:]
             if cmd == "train":
-                raws = [ctx.trainer.train_epoch_raw() for _ in range(args[0])]
+                raws = []
+                for _ in range(args[0]):
+                    if faults is not None:
+                        faults.start_epoch(epochs_done)
+                    raws.append(ctx.trainer.train_epoch_raw())
+                    epochs_done += 1
+                    if faults is not None:
+                        faults.fire("post_epoch", bus)
+                    conn.send(("beat", worker_id, epochs_done))
                 conn.send(("epochs", raws))
+            elif cmd == "checkpoint":
+                state = ckpt.model_state(ctx.model)
+                ckpt.write_worker_state(args[0], state)
+                conn.send(("ok", (ctx.cluster.lo, ctx.cluster.hi)))
             elif cmd == "state":
                 conn.send(("state", _worker_state(ctx)))
+            elif cmd == "ping":
+                conn.send(("pong", worker_id))
             elif cmd == "reset":
                 ctx.cluster.reset()
+                epochs_done = 0
                 conn.send(("ok", None))
             elif cmd == "crash":  # test hook: simulate a hard worker death
                 import os
@@ -424,10 +462,20 @@ def worker_main(worker_id: int, bus_handle: BusHandle, spec, conn) -> None:
                 conn.send(("ok", None))
                 return
             else:
-                raise RuntimeError(f"unknown worker command {cmd!r}")
-    except BaseException:
+                raise PlexusRuntimeError(f"unknown worker command {cmd!r}")
+    except BaseException as exc:
         try:
-            conn.send(("error", f"worker {worker_id}:\n{traceback.format_exc()}"))
+            conn.send(
+                (
+                    "error",
+                    {
+                        "worker": worker_id,
+                        "etype": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
         except Exception:
             pass
     finally:

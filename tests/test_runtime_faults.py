@@ -1,0 +1,288 @@
+"""Fault tolerance of the multi-process runtime (chaos suite).
+
+Spawn-heavy: runs in its own CI step under a hard timeout, deselected from
+tier-1.  Acceptance for the fault-tolerant worker runtime:
+
+* **detection latency** — a worker killed or wedged mid-epoch surfaces as a
+  typed exception (worker id, exit code, last completed epoch, original
+  traceback text) in *seconds*, not the 120 s bus barrier timeout;
+* **payload integrity** — a flipped mailbox byte trips the frame CRC at
+  read time and raises :class:`~repro.errors.PayloadCorruption`;
+* **crash recovery** — with checkpointing on, a worker killed at each
+  injection point mid-training auto-restores from the latest checkpoint
+  and replays to a final state **bitwise identical** to an uninterrupted
+  run (losses, weights, per-rank clocks, phase totals), eager and overlap
+  schedules alike;
+* **resume** — a new trainer pointed at a checkpoint directory continues
+  the job (multiproc -> multiproc cold start, and checkpoints written by
+  one backend restore into the other).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GridConfig, PlexusOptions
+from repro.dist import LAPTOP
+from repro.errors import (
+    BarrierTimeout,
+    PayloadCorruption,
+    WorkerCrashed,
+    WorkerFailed,
+)
+from repro.graph.features import degree_labels, random_split_masks, synth_features
+from repro.graph.generators import rmat_graph
+from repro.runtime import FaultPlan, MultiprocTrainer, WorkloadSpec, build_trainer
+from repro.sparse.ops import gcn_normalize
+
+N_NODES = 48
+DIMS = [16, 16, 8]
+CFG = GridConfig(2, 2, 2)
+EPOCHS = 5
+
+
+def _dataset():
+    a = gcn_normalize(rmat_graph(N_NODES, avg_degree=6, seed=1))
+    feats = synth_features(N_NODES, DIMS[0], seed=2)
+    labels = degree_labels(a, DIMS[-1], seed=3)
+    mask, _, _ = random_split_masks(N_NODES, seed=4)
+    return a, feats, labels, mask
+
+
+def _spec(faults=(), **opts):
+    a, feats, labels, mask = _dataset()
+    return WorkloadSpec(
+        config=CFG,
+        layer_dims=list(DIMS),
+        workers=2,
+        machine=LAPTOP,
+        options=PlexusOptions(seed=0, **opts),
+        adjacency=a,
+        features=feats,
+        labels=labels,
+        train_mask=mask,
+        faults=faults,
+    )
+
+
+def _state_equal(a: dict, b: dict) -> None:
+    assert np.array_equal(a["clocks"], b["clocks"])
+    for key in ("by_phase", "by_category"):
+        assert set(a[key]) == set(b[key])
+        for label, vec in a[key].items():
+            assert np.array_equal(vec, b[key][label]), label
+    assert set(a["weights"]) == set(b["weights"])
+    for name, w in a["weights"].items():
+        assert np.array_equal(w, b["weights"][name]), name
+
+
+@pytest.fixture(scope="module", params=[False, True], ids=["eager", "overlap"])
+def baseline(request):
+    """Uninterrupted multiproc run per schedule: the parity reference."""
+    overlap = request.param
+    with MultiprocTrainer(_spec(overlap=overlap), timeout=60) as mpt:
+        losses = mpt.train(EPOCHS).losses
+        state = mpt.state()
+    return overlap, losses, state
+
+
+class TestDetection:
+    """Typed failure surfacing, well under the bus barrier timeout."""
+
+    def test_dead_worker_detected_fast_with_identity(self):
+        plan = FaultPlan(worker=1, point="pre_barrier", action="die", epoch=1)
+        t0 = time.monotonic()
+        with pytest.raises(WorkerCrashed, match="multiproc runtime failed") as ei:
+            with MultiprocTrainer(_spec(faults=(plan,)), timeout=120) as mpt:
+                mpt.train(3)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30, f"detection took {elapsed:.1f}s (barrier timeout is 120s)"
+        assert ei.value.worker_id == 1
+        assert ei.value.exitcode == 43
+        assert ei.value.last_epoch == 1
+
+    def test_mid_collective_death_detected(self):
+        plan = FaultPlan(worker=0, point="mid_collective", action="die", epoch=0)
+        t0 = time.monotonic()
+        with pytest.raises(WorkerCrashed) as ei:
+            with MultiprocTrainer(_spec(faults=(plan,)), timeout=120) as mpt:
+                mpt.train(1)
+        assert time.monotonic() - t0 < 30
+        assert ei.value.worker_id == 0
+
+    def test_worker_exception_carries_original_traceback(self):
+        plan = FaultPlan(worker=1, point="pre_barrier", action="raise", epoch=0)
+        with pytest.raises(WorkerFailed, match="InjectedFault") as ei:
+            with MultiprocTrainer(_spec(faults=(plan,)), timeout=60) as mpt:
+                mpt.train(1)
+        err = ei.value
+        assert err.worker_id == 1
+        assert err.traceback_text and "injected fault at pre_barrier" in err.traceback_text
+        # the worker's traceback rides along in the rendered message
+        assert "injected fault at pre_barrier" in str(err)
+
+    def test_corrupted_payload_raises_at_read_time(self):
+        plan = FaultPlan(worker=0, point="pre_barrier", action="corrupt", epoch=1)
+        with pytest.raises(PayloadCorruption, match="multiproc runtime failed"):
+            with MultiprocTrainer(_spec(faults=(plan,)), timeout=60) as mpt:
+                mpt.train(3)
+
+    def test_hung_worker_trips_heartbeat_timeout(self):
+        plan = FaultPlan(worker=1, point="mid_collective", action="hang", epoch=1)
+        t0 = time.monotonic()
+        with pytest.raises(BarrierTimeout, match="heartbeat") as ei:
+            with MultiprocTrainer(
+                _spec(faults=(plan,)), timeout=120, heartbeat_timeout=5.0
+            ) as mpt:
+                mpt.train(3)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30, f"wedge detection took {elapsed:.1f}s"
+        assert ei.value.last_epoch == 1
+
+    def test_delay_fault_is_bitwise_invisible(self, baseline):
+        """A late barrier arrival shifts wall time only: the simulated
+        clocks and losses cannot move."""
+        overlap, losses, state = baseline
+        plan = FaultPlan(
+            worker=1, point="pre_barrier", action="delay", epoch=1, delay_s=0.3
+        )
+        with MultiprocTrainer(_spec(faults=(plan,), overlap=overlap), timeout=60) as mpt:
+            assert mpt.train(EPOCHS).losses == losses
+            _state_equal(state, mpt.state())
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError, match="pre_barrier"):
+            FaultPlan(worker=0, point="post_epoch", action="corrupt")
+        with pytest.raises(ValueError, match="point"):
+            FaultPlan(worker=0, point="nowhere")
+        with pytest.raises(ValueError, match="action"):
+            FaultPlan(worker=0, point="post_epoch", action="explode")
+
+    def test_ping(self):
+        with MultiprocTrainer(_spec(), timeout=60) as mpt:
+            assert mpt.ping() == [0, 1]
+
+
+class TestCrashRecovery:
+    """Kill a worker mid-training at each injection point; the run must
+    auto-restore from the latest checkpoint and finish bitwise-identical
+    to the uninterrupted baseline."""
+
+    @pytest.mark.parametrize(
+        "point,action",
+        [
+            ("pre_barrier", "die"),
+            ("mid_collective", "die"),
+            ("post_epoch", "die"),
+        ],
+    )
+    def test_killed_worker_replays_bitwise(self, baseline, tmp_path, point, action):
+        overlap, losses, state = baseline
+        plan = FaultPlan(worker=1, point=point, action=action, epoch=2)
+        with MultiprocTrainer(
+            _spec(faults=(plan,), overlap=overlap),
+            timeout=60,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+            max_restarts=2,
+        ) as mpt:
+            result = mpt.train(EPOCHS)
+            assert mpt._restarts_used == 1  # the fault fired and recovery ran
+            assert result.losses == losses
+            _state_equal(state, mpt.state())
+
+    def test_corrupted_payload_recovers_too(self, baseline, tmp_path):
+        overlap, losses, state = baseline
+        if overlap:
+            pytest.skip("one schedule suffices for the corruption-recovery path")
+        plan = FaultPlan(worker=0, point="pre_barrier", action="corrupt", epoch=2)
+        with MultiprocTrainer(
+            _spec(faults=(plan,)),
+            timeout=60,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+        ) as mpt:
+            assert mpt.train(EPOCHS).losses == losses
+            assert mpt._restarts_used == 1
+            _state_equal(state, mpt.state())
+
+    def test_restart_budget_exhausts_loudly(self, tmp_path):
+        """With max_restarts=0 the recoverable failure re-raises typed."""
+        plan = FaultPlan(worker=1, point="pre_barrier", action="die", epoch=2)
+        with pytest.raises(WorkerCrashed, match="multiproc runtime failed"):
+            with MultiprocTrainer(
+                _spec(faults=(plan,)),
+                timeout=60,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=2,
+                max_restarts=0,
+            ) as mpt:
+                mpt.train(EPOCHS)
+
+
+class TestResume:
+    def test_cold_start_resume_from_checkpoint_dir(self, baseline, tmp_path):
+        """A brand-new trainer pointed at the directory continues the job
+        from the newest checkpoint, bitwise."""
+        overlap, losses, state = baseline
+        spec = _spec(overlap=overlap)
+        with MultiprocTrainer(
+            spec, timeout=60, checkpoint_dir=tmp_path, checkpoint_every=1
+        ) as mpt:
+            head = mpt.train(3).losses
+        assert head == losses[:3]
+        with MultiprocTrainer(
+            spec, timeout=60, checkpoint_dir=tmp_path, checkpoint_every=1
+        ) as mpt:
+            assert mpt.epochs_done == 3
+            assert mpt.history[:3] and [e.loss for e in mpt.history] == head
+            tail = mpt.train(EPOCHS - 3).losses
+            assert tail == losses[3:]
+            _state_equal(state, mpt.state())
+
+    def test_checkpoints_cross_backends(self, tmp_path):
+        """An inproc-written checkpoint boots a multiproc pool (reassembled
+        and re-sliced under the quiescence rule) and vice versa — eager
+        schedules, where the epoch boundary is quiescent by construction."""
+        spec = _spec()
+        ref = build_trainer(spec, backend="inproc")
+        losses = ref.train(EPOCHS).losses
+
+        # inproc -> multiproc
+        saver = build_trainer(spec, backend="inproc")
+        saver.train(2)
+        saver.save_checkpoint(tmp_path / "a", epoch=2)
+        with MultiprocTrainer(
+            spec, timeout=60, checkpoint_dir=tmp_path / "a", checkpoint_every=1
+        ) as mpt:
+            assert mpt.epochs_done == 2
+            assert mpt.train(EPOCHS - 2).losses == losses[2:]
+
+        # multiproc -> inproc
+        with MultiprocTrainer(
+            spec, timeout=60, checkpoint_dir=tmp_path / "b", checkpoint_every=3
+        ) as mpt:
+            mpt.train(3)
+        from repro.runtime import checkpoint as ckpt, latest_checkpoint
+
+        epoch, path = latest_checkpoint(tmp_path / "b")
+        assert epoch == 3
+        resumed = build_trainer(spec, backend="inproc")
+        resumed.load_checkpoint(path)
+        assert resumed.train(EPOCHS - 3).losses == losses[3:]
+
+    def test_mismatched_checkpoint_refused(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        spec = _spec()
+        with MultiprocTrainer(
+            spec, timeout=60, checkpoint_dir=tmp_path, checkpoint_every=1
+        ) as mpt:
+            mpt.train(1)
+        other = _spec()
+        other.layer_dims = [DIMS[0], 24, DIMS[-1]]
+        with pytest.raises(CheckpointError, match="world|dims"):
+            MultiprocTrainer(other, timeout=60, checkpoint_dir=tmp_path)

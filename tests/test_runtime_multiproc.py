@@ -332,3 +332,65 @@ class TestCrashCleanup:
         removed = cleanup_orphans()
         assert f"{SHM_PREFIX}orphan-test" in removed
         assert _session_segments() == []
+
+    def test_cleanup_orphans_spares_live_sibling_sessions(self):
+        """The sweep keys liveness off the launcher pid embedded in the
+        session id: a concurrently *running* sibling session's segments are
+        not orphans and must survive a generic sweep."""
+        import subprocess
+        import sys
+
+        from multiprocessing.shared_memory import SharedMemory
+
+        _session_segments()  # skip on platforms without /dev/shm
+        # pid 1 is alive and is not us: a live sibling launcher
+        live_name = f"{SHM_PREFIX}1p{'ab' * 5}-m0"
+        live = SharedMemory(name=live_name, create=True, size=64)
+        live.close()
+        # a pid that has already exited: a genuine orphan
+        dead_pid = int(
+            subprocess.run(
+                [sys.executable, "-c", "import os; print(os.getpid())"],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+        )
+        dead_name = f"{SHM_PREFIX}{dead_pid}p{'cd' * 5}-m0"
+        dead = SharedMemory(name=dead_name, create=True, size=64)
+        dead.close()
+        try:
+            removed = cleanup_orphans()
+            assert dead_name in removed
+            assert live_name not in removed
+            assert live_name in _session_segments()
+        finally:
+            cleanup_orphans(include_live=True)
+        assert _session_segments() == []
+
+    def test_cleanup_orphans_leaves_running_pool_functional(self):
+        """A generic sweep fired while this process's own pool is live (the
+        concurrent-sessions hazard) must not unlink its segments: training
+        still works afterwards."""
+        spec = _spec(GridConfig(2, 2, 2), workers=2)
+        with MultiprocTrainer(spec, timeout=60) as mpt:
+            first = mpt.train(1).losses
+            assert cleanup_orphans() == []  # our own session: live, spared
+            assert _session_segments()  # mailboxes intact
+            assert mpt.train(1).losses != first  # pool still trains
+        assert _session_segments() == []
+
+    def test_cleanup_orphans_ignores_foreign_prefixes(self):
+        """Shared memory that is not ours — whatever the name shape — is
+        never touched by the sweep."""
+        from multiprocessing.shared_memory import SharedMemory
+
+        _session_segments()  # skip on platforms without /dev/shm
+        foreign = SharedMemory(name="plexusx-not-ours", create=True, size=64)
+        try:
+            removed = cleanup_orphans()
+            assert "plexusx-not-ours" not in removed
+            assert Path("/dev/shm/plexusx-not-ours").exists()
+        finally:
+            foreign.close()
+            foreign.unlink()
