@@ -71,6 +71,9 @@ def train_plexus(
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 1,
     max_restarts: int = 2,
+    transport: str = "shm",
+    rendezvous: str | None = None,
+    remote_workers: int = 0,
 ) -> TrainResult:
     """One-call end-to-end training on a scaled synthetic dataset.
 
@@ -87,6 +90,11 @@ def train_plexus(
     cube across ``workers`` OS processes connected by the shared-memory
     transport (``repro.runtime``) — same losses, weights, clocks and phase
     totals, bit for bit, on the supported (uniform-sharding) workloads.
+    ``transport="tcp"`` swaps the shared-memory bus for the socket fabric
+    (still bitwise identical over loopback): ``rendezvous="host:port"``
+    places the membership rendezvous (port 0 picks an ephemeral port and
+    publishes a port file for ``repro host``), and ``remote_workers`` slots
+    are filled by workers a second launcher attaches.
 
     ``checkpoint_dir`` enables epoch-boundary checkpointing (every
     ``checkpoint_every`` epochs): ``epochs`` becomes a *total* target, so
@@ -102,6 +110,13 @@ def train_plexus(
         raise ValueError(f"unknown backend {backend!r} (known: inproc, multiproc)")
     if workers is not None and backend != "multiproc":
         raise ValueError("workers only applies to backend='multiproc'")
+    if backend != "multiproc" and (
+        transport != "shm" or rendezvous is not None or remote_workers
+    ):
+        raise ValueError(
+            "transport / rendezvous / remote_workers apply to "
+            "backend='multiproc' only"
+        )
     if options is None:
         options = PlexusOptions(seed=seed, overlap=overlap)
     elif overlap and not options.overlap:
@@ -148,6 +163,9 @@ def train_plexus(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             max_restarts=max_restarts,
+            transport=transport,
+            rendezvous=rendezvous,
+            remote_workers=remote_workers,
         ) as trainer:
             if checkpoint_dir is None:
                 return trainer.train(epochs)

@@ -7,6 +7,9 @@ Usage::
     python -m repro experiment all            # everything (slow)
     python -m repro train --dataset reddit --gpus 8 --epochs 10
     python -m repro train --dataset ogbn-products --gpus 64 --overlap
+    python -m repro train --backend multiproc --transport tcp \
+        --rendezvous 127.0.0.1:0 --workers 2 --remote-workers 1
+    python -m repro host --rendezvous auto --workers 1
     python -m repro select --dataset products-14m --gpus 256
 """
 
@@ -65,12 +68,30 @@ def _cmd_train(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         max_restarts=args.max_restarts,
+        transport=args.transport,
+        rendezvous=args.rendezvous,
+        remote_workers=args.remote_workers,
     )
     for i, e in enumerate(result.epochs):
         print(f"epoch {i:3d}  loss {e.loss:.6f}  time {e.epoch_time * 1e3:9.3f} ms "
               f"(comm {e.comm_time * 1e3:.3f} / comp {e.comp_time * 1e3:.3f})")
     print(f"mean epoch time (skip 2 warm-up): {result.mean_epoch_time() * 1e3:.3f} ms")
     return 0
+
+
+def _cmd_host(args) -> int:
+    from repro.runtime import host_workers
+
+    served = host_workers(rendezvous=args.rendezvous, workers=args.workers)
+    print(f"served {served} pool session(s)")
+    if not served:
+        print(
+            "no pool joined: start the primary launcher first "
+            "(train --transport tcp --remote-workers N), or pass an explicit "
+            "--rendezvous host:port / port-file path",
+            file=sys.stderr,
+        )
+    return 0 if served else 1
 
 
 def _cmd_select(args) -> int:
@@ -141,7 +162,43 @@ def main(argv: list[str] | None = None) -> int:
              "latest checkpoint after a worker crash (default 2; requires "
              "--checkpoint-dir)",
     )
+    p.add_argument(
+        "--transport", choices=("shm", "tcp"), default="shm",
+        help="multiproc worker fabric: 'shm' (default) is the single-host "
+             "/dev/shm bus; 'tcp' runs the socket transport with rendezvous, "
+             "reconnect and typed deadlines (bitwise-identical over loopback)",
+    )
+    p.add_argument(
+        "--rendezvous", default=None,
+        help="tcp only: host:port for the membership rendezvous (port 0 "
+             "picks an ephemeral port); a port file is published so "
+             "'repro host --rendezvous auto' can attach remote workers",
+    )
+    p.add_argument(
+        "--remote-workers", type=int, default=0,
+        help="tcp only: how many of --workers slots are filled by workers "
+             "attached from a second launcher ('repro host') instead of "
+             "being spawned here",
+    )
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "host",
+        help="attach worker processes to a running tcp-transport launcher "
+             "(the secondary launcher of a multi-host pool)",
+    )
+    p.add_argument(
+        "--rendezvous", default="auto",
+        help="'auto' discovers the newest live port file on this machine, a "
+             "path reads that port file, host:port dials directly (session "
+             "auth key from $PLEXUS_AUTHKEY, hex)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to attach (the primary must reserve as many "
+             "--remote-workers slots)",
+    )
+    p.set_defaults(func=_cmd_host)
 
     p = sub.add_parser("select", help="rank 3D configurations with the performance model")
     p.add_argument("--dataset", default="ogbn-products", choices=list_datasets())

@@ -47,7 +47,9 @@ class PlexusRuntimeError(PlexusError, RuntimeError):
     * ``last_epoch`` — the last epoch that worker completed (from its
       heartbeat beacons), i.e. where replay must resume;
     * ``exitcode`` — the worker process's exit code, if it died;
-    * ``traceback_text`` — the worker's original formatted traceback.
+    * ``traceback_text`` — the worker's original formatted traceback;
+    * ``last_seq`` — the bus message / tcp frame sequence number the
+      failure happened at (where a reconnect would resume mid-epoch).
     """
 
     def __init__(
@@ -58,12 +60,14 @@ class PlexusRuntimeError(PlexusError, RuntimeError):
         last_epoch: int | None = None,
         exitcode: int | None = None,
         traceback_text: str | None = None,
+        last_seq: int | None = None,
     ) -> None:
         super().__init__(message)
         self.worker_id = worker_id
         self.last_epoch = last_epoch
         self.exitcode = exitcode
         self.traceback_text = traceback_text
+        self.last_seq = last_seq
 
     def __str__(self) -> str:
         base = super().__str__()

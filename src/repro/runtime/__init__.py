@@ -19,7 +19,14 @@ zero-copy shared-memory tensor transport underneath the existing
   layout) or reassembled/re-sliced across layouts and backends.
 * :mod:`repro.runtime.faults` — the deterministic fault-injection harness
   (:class:`~repro.runtime.faults.FaultPlan` chaos schedules threaded
-  through the workload spec).
+  through the workload spec), including network fault actions injected
+  inside the tcp transport.
+* :mod:`repro.runtime.net` / :mod:`repro.runtime.rendezvous` — the tcp
+  worker fabric (``transport="tcp"``): the socket drop-in for the
+  shared-memory bus plus the signed-manifest rendezvous/launcher protocol
+  that lets the pool span machines (``repro host``), with per-call
+  deadlines, bounded reconnect/backoff, and heartbeats on the control
+  connection.
 
 Guarantee: ``backend="multiproc"`` is bitwise identical to
 ``backend="inproc"`` — losses, weights, per-rank clocks and phase totals —
@@ -33,7 +40,14 @@ from repro.runtime.launch import (
     MultiprocTrainer,
     WorkloadSpec,
     build_trainer,
+    host_workers,
     is_uniform_workload,
+)
+from repro.runtime.net import TcpAxisCommunicator, TcpBus, TcpConfig
+from repro.runtime.rendezvous import (
+    RendezvousListener,
+    cleanup_stale_rendezvous,
+    connect_rendezvous,
 )
 from repro.runtime.shm import ShmAxisCommunicator, ShmBus, cleanup_orphans
 from repro.runtime.worker import WorkerCluster, WorkerGrid, worker_slice
@@ -42,6 +56,7 @@ __all__ = [
     "MultiprocTrainer",
     "WorkloadSpec",
     "build_trainer",
+    "host_workers",
     "is_uniform_workload",
     "FaultPlan",
     "FaultInjector",
@@ -50,6 +65,12 @@ __all__ = [
     "ShmAxisCommunicator",
     "ShmBus",
     "cleanup_orphans",
+    "TcpAxisCommunicator",
+    "TcpBus",
+    "TcpConfig",
+    "RendezvousListener",
+    "connect_rendezvous",
+    "cleanup_stale_rendezvous",
     "WorkerCluster",
     "WorkerGrid",
     "worker_slice",

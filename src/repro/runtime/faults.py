@@ -29,6 +29,22 @@ Actions:
   has read it yet).  Every reader's CRC32 check then raises
   :class:`~repro.errors.PayloadCorruption` instead of consuming garbage.
 
+Network actions (``transport="tcp"`` only; armed at ``pre_barrier``, the
+transport applies them to the exchange in flight):
+
+* ``"drop_conn"``     — sever every peer socket once; the transport's
+  bounded reconnect/backoff must resume mid-epoch from the frame sequence
+  number, bitwise invisibly;
+* ``"delay_link"``    — stall the exchange's sends ``delay_s`` (wall-clock
+  only; simulated clocks must not move);
+* ``"corrupt_frame"`` — flip one byte of the outgoing payload while the
+  CRC still describes the original, so every receiving peer's integrity
+  check raises :class:`~repro.errors.PayloadCorruption`;
+* ``"partition"``     — make every peer permanently unreachable (reconnects
+  refused) until the retry budget surfaces a typed
+  :class:`~repro.errors.BarrierTimeout` naming the peer — the launcher
+  then recovers from the epoch-boundary checkpoint.
+
 Plans ride through :class:`~repro.runtime.launch.WorkloadSpec` (picklable
 dataclasses, shipped at spawn) and fire exactly once.  On respawn after a
 recovery the launcher strips the plans: injected faults model *transient*
@@ -41,10 +57,18 @@ import os
 import time
 from dataclasses import dataclass
 
-__all__ = ["FAULT_POINTS", "FAULT_ACTIONS", "FaultPlan", "FaultInjector", "build_injector"]
+__all__ = [
+    "FAULT_POINTS",
+    "FAULT_ACTIONS",
+    "NETWORK_ACTIONS",
+    "FaultPlan",
+    "FaultInjector",
+    "build_injector",
+]
 
 FAULT_POINTS = ("pre_barrier", "mid_collective", "post_epoch")
-FAULT_ACTIONS = ("die", "raise", "delay", "hang", "corrupt")
+NETWORK_ACTIONS = ("drop_conn", "delay_link", "corrupt_frame", "partition")
+FAULT_ACTIONS = ("die", "raise", "delay", "hang", "corrupt") + NETWORK_ACTIONS
 
 #: "hang" sleeps this long — far beyond any barrier/heartbeat timeout, but
 #: finite so an escaped worker cannot outlive CI's hard timeout forever
@@ -82,6 +106,11 @@ class FaultPlan:
             raise ValueError(
                 "corrupt faults fire at 'pre_barrier' only: the payload is "
                 "posted and no peer has read it yet"
+            )
+        if self.action in NETWORK_ACTIONS and self.point != "pre_barrier":
+            raise ValueError(
+                f"network fault action {self.action!r} arms at 'pre_barrier' "
+                "only: the transport applies it to the exchange in flight"
             )
 
 
@@ -134,6 +163,14 @@ class FaultInjector:
 
                 raise PlexusRuntimeError("corrupt fault fired outside a bus rendezvous")
             bus.corrupt_own_payload()
+        elif plan.action in NETWORK_ACTIONS:
+            if bus is None:
+                from repro.errors import PlexusRuntimeError
+
+                raise PlexusRuntimeError(
+                    f"network fault {plan.action!r} fired outside a bus rendezvous"
+                )
+            bus.inject_network_fault(plan)
 
 
 def build_injector(faults, worker_id: int) -> FaultInjector | None:

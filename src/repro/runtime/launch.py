@@ -46,6 +46,7 @@ import atexit
 import logging
 import multiprocessing as mp
 import os
+import secrets
 import shutil
 import threading
 import time
@@ -68,16 +69,24 @@ from repro.errors import (
     PayloadCorruption,
     PlexusRuntimeError,
     RendezvousDesync,
+    UnsupportedWorkload,
     WorkerCrashed,
     WorkerFailed,
 )
 from repro.graph.shardio import LoadReport
 from repro.runtime import checkpoint as ckpt
 from repro.runtime.faults import FaultPlan
+from repro.runtime.net import TcpConfig
 from repro.runtime.shm import BusHandle, ShmBus, new_session_id
-from repro.runtime.worker import worker_main, worker_slice
+from repro.runtime.worker import worker_main, worker_main_tcp, worker_slice
 
-__all__ = ["WorkloadSpec", "MultiprocTrainer", "build_trainer", "is_uniform_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "MultiprocTrainer",
+    "build_trainer",
+    "host_workers",
+    "is_uniform_workload",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -92,6 +101,7 @@ _ETYPE_MAP = {
     "BarrierTimeout": BarrierTimeout,
     "PayloadCorruption": PayloadCorruption,
     "RendezvousDesync": RendezvousDesync,
+    "UnsupportedWorkload": UnsupportedWorkload,
     "WorkerCrashed": WorkerCrashed,
 }
 
@@ -200,7 +210,7 @@ class _PoolMonitor(threading.Thread):
     def run(self) -> None:
         while not self._stop_event.wait(self._interval):
             for w, p in enumerate(self._procs):
-                if not p.is_alive():
+                if p is not None and not p.is_alive():
                     self.death = (w, p.exitcode)
                     return
 
@@ -236,10 +246,32 @@ class MultiprocTrainer:
         restart_backoff: float = 0.25,
         heartbeat_timeout: float | None = None,
         keep_checkpoints: int = 2,
+        transport: str = "shm",
+        rendezvous: str | tuple[str, int] | None = None,
+        remote_workers: int = 0,
+        tcp_config: TcpConfig | None = None,
     ) -> None:
         _validate_spec(spec)
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if transport not in ("shm", "tcp"):
+            raise ValueError(f"unknown transport {transport!r} (known: shm, tcp)")
+        if transport != "tcp" and (rendezvous is not None or remote_workers):
+            raise ValueError("rendezvous / remote_workers require transport='tcp'")
+        if not 0 <= remote_workers <= spec.workers:
+            raise ValueError(
+                f"remote_workers must be in [0, workers={spec.workers}], "
+                f"got {remote_workers}"
+            )
+        self.transport = transport
+        self.remote_workers = int(remote_workers)
+        if isinstance(rendezvous, str):
+            host, _, port = rendezvous.rpartition(":")
+            rendezvous = (host or "127.0.0.1", int(port))
+        self.rendezvous = rendezvous or ("127.0.0.1", 0)
+        self.tcp_config = tcp_config or TcpConfig(
+            exchange_timeout=min(timeout * 0.75, TcpConfig.exchange_timeout)
+        )
         self.spec = spec
         self.workers = spec.workers
         self.timeout = timeout
@@ -260,6 +292,9 @@ class MultiprocTrainer:
         self._training = False
         self._monitor: _PoolMonitor | None = None
         self._bus: ShmBus | None = None
+        self._listener = None  # tcp: the RendezvousListener (+ its port file)
+        self._authkey = secrets.token_bytes(32)
+        self._session = ""
         self._procs: list = []
         self._conns: list = []
         atexit.register(self.close)
@@ -295,6 +330,22 @@ class MultiprocTrainer:
         if clean and spec.faults:
             spec = replace(spec, faults=())
         ctx = mp.get_context("spawn")
+        self._procs = []
+        self._conns = []
+        self._inbox: list[deque] = [deque() for _ in range(self.workers)]
+        self._eof: set[int] = set()
+        self._worker_epoch = [self._epochs_done] * self.workers
+        self._last_beat = [time.monotonic()] * self.workers
+        if self.transport == "tcp":
+            self._spawn_tcp(ctx, spec, restore)
+        else:
+            self._spawn_shm(ctx, spec, restore)
+        self._monitor = _PoolMonitor(self._procs)
+        self._monitor.start()
+        for w in range(self.workers):
+            self._recv(w)  # ("ready", w) or the build/restore error
+
+    def _spawn_shm(self, ctx, spec: WorkloadSpec, restore) -> None:
         self._bus_handle = BusHandle(
             session=new_session_id(),
             n_workers=self.workers,
@@ -303,13 +354,8 @@ class MultiprocTrainer:
             barrier_b=ctx.Barrier(self.workers),
             timeout=self.timeout,
         )
+        self._session = self._bus_handle.session
         self._bus = ShmBus(self._bus_handle)  # creator endpoint: owns unlink
-        self._procs = []
-        self._conns = []
-        self._inbox: list[deque] = [deque() for _ in range(self.workers)]
-        self._eof: set[int] = set()
-        self._worker_epoch = [self._epochs_done] * self.workers
-        self._last_beat = [time.monotonic()] * self.workers
         for w in range(self.workers):
             parent, child = ctx.Pipe()
             p = ctx.Process(
@@ -322,10 +368,46 @@ class MultiprocTrainer:
             child.close()
             self._procs.append(p)
             self._conns.append(parent)
-        self._monitor = _PoolMonitor(self._procs)
-        self._monitor.start()
-        for w in range(self.workers):
-            self._recv(w)  # ("ready", w) or the build/restore error
+
+    def _spawn_tcp(self, ctx, spec: WorkloadSpec, restore) -> None:
+        """Rendezvous-based pool formation (the multi-host path).
+
+        A fresh session + port file per (re)spawn: a killed pool's state
+        can never be confused with the new one's, and a ``repro host``
+        secondary rediscovers the new rendezvous through the port file.
+        Locally spawned workers pin their slice index as the preferred
+        worker id; ``remote_workers`` slots are filled by workers dialing
+        in from other launchers.  The workload spec (and any restore
+        checkpoint) ships over the authenticated control connections, which
+        afterwards carry the command loop and the heartbeats.
+        """
+        from repro.runtime.rendezvous import RendezvousListener
+
+        host, port = self.rendezvous
+        self._listener = RendezvousListener(host, port, authkey=self._authkey)
+        self._session = self._listener.session
+        n_local = self.workers - self.remote_workers
+        for w in range(n_local):
+            p = ctx.Process(
+                target=worker_main_tcp,
+                args=(w, self._listener.host, self._listener.port, self._authkey),
+                name=f"plexus-runtime-worker-{w}",
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+        local_procs = {w: self._procs[w] for w in range(n_local)}
+        try:
+            conns = self._listener.gather(
+                self.workers, timeout=self.tcp_config.rendezvous_timeout
+            )
+        except BaseException:
+            self._procs = [local_procs.get(w) for w in range(self.workers)]
+            raise
+        self._procs = [local_procs.get(w) for w in range(self.workers)]
+        self._conns = [conns[w] for w in range(self.workers)]
+        for conn in self._conns:
+            conn.send(("spec", spec, restore, self.tcp_config))
 
     def _teardown_pool(self) -> None:
         """Stop the pool after a failure (hard path: the rendezvous is
@@ -345,10 +427,15 @@ class MultiprocTrainer:
         if self._bus is not None:
             self._bus.unlink()
             self._bus = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
 
     def _stop_procs(self, graceful: bool) -> None:
         """The stop ladder: optional close command, then SIGTERM, then
-        SIGKILL — logging which workers needed escalation."""
+        SIGKILL — logging which workers needed escalation.  Remote workers
+        (no local process) get the close command only; their own launcher
+        supervises their exit."""
         if graceful:
             for conn in self._conns:
                 try:
@@ -356,8 +443,11 @@ class MultiprocTrainer:
                 except (OSError, ValueError):
                     pass
             for p in self._procs:
-                p.join(timeout=5.0)
-        need_term = [w for w, p in enumerate(self._procs) if p.is_alive()]
+                if p is not None:
+                    p.join(timeout=5.0)
+        need_term = [
+            w for w, p in enumerate(self._procs) if p is not None and p.is_alive()
+        ]
         for w in need_term:
             self._procs[w].terminate()
         for w in need_term:
@@ -406,13 +496,28 @@ class MultiprocTrainer:
                 else:
                     self._inbox[w].append(msg)
 
+    def _straggler_report(self) -> str:
+        """Per-worker liveness table for timeout messages: heartbeat age and
+        last completed epoch, so a timeout names the straggler."""
+        now = time.monotonic()
+        lines = []
+        for w, beat in enumerate(self._last_beat):
+            tag = " [remote]" if w < len(self._procs) and self._procs[w] is None else ""
+            tag += " [pipe closed]" if w in self._eof else ""
+            lines.append(
+                f"  worker {w}{tag}: last heartbeat {now - beat:.1f}s ago, "
+                f"last completed epoch {self._worker_epoch[w]}"
+            )
+        return "per-worker liveness:\n" + "\n".join(lines)
+
     def _check_failures(self) -> None:
         """Convert a monitored death / stale heartbeat into a typed raise."""
         death = self._monitor.death if self._monitor is not None else None
         if death is None:
             for w in sorted(self._eof):
-                if not self._inbox[w] and not self._procs[w].is_alive():
-                    death = (w, self._procs[w].exitcode)
+                p = self._procs[w]
+                if not self._inbox[w] and (p is None or not p.is_alive()):
+                    death = (w, None if p is None else p.exitcode)
                     break
         if death is not None:
             self._worker_down(*death)
@@ -422,11 +527,12 @@ class MultiprocTrainer:
                 stale = now - beat
                 if stale > self.heartbeat_timeout:
                     last = self._worker_epoch[w]
+                    report = self._straggler_report()
                     self._teardown_pool()
                     raise BarrierTimeout(
                         f"multiproc runtime failed: worker {w} heartbeat "
                         f"stale for {stale:.1f}s (> {self.heartbeat_timeout}s) "
-                        f"— wedged mid-epoch after epoch {last}",
+                        f"— wedged mid-epoch after epoch {last}\n{report}",
                         worker_id=w,
                         last_epoch=last,
                     )
@@ -440,10 +546,17 @@ class MultiprocTrainer:
             if kind == "error":
                 self._raise_worker_error(payload)
         last = self._worker_epoch[w]
+        lost = self._procs[w] is None
+        report = self._straggler_report()
         self._teardown_pool()
         raise WorkerCrashed(
-            f"multiproc runtime failed: worker {w} died (exit code "
-            f"{exitcode}) after epoch {last}",
+            f"multiproc runtime failed: worker {w} "
+            + (
+                "dropped its control connection (remote worker lost)"
+                if lost
+                else f"died (exit code {exitcode})"
+            )
+            + f" after epoch {last}\n{report}",
             worker_id=w,
             exitcode=exitcode,
             last_epoch=last,
@@ -452,15 +565,21 @@ class MultiprocTrainer:
     def _raise_worker_error(self, payload):
         """Re-raise a worker's structured error report launcher-side, as the
         matching typed exception carrying the original traceback text."""
+        report = self._straggler_report()
         self._teardown_pool()
         if not isinstance(payload, dict):  # legacy plain-text report
             raise WorkerFailed(f"multiproc runtime failed: {payload}")
         w = payload.get("worker")
         etype = payload.get("etype", "Exception")
         cls = _ETYPE_MAP.get(etype, WorkerFailed)
-        raise cls(
+        message = (
             f"multiproc runtime failed: worker {w} raised {etype}: "
-            f"{payload.get('message')}",
+            f"{payload.get('message')}"
+        )
+        if cls is BarrierTimeout:  # a timeout names the straggler
+            message += f"\n{report}"
+        raise cls(
+            message,
             worker_id=w,
             last_epoch=self._worker_epoch[w] if w is not None else None,
             traceback_text=payload.get("traceback"),
@@ -492,7 +611,8 @@ class MultiprocTrainer:
             try:
                 conn.send(msg)
             except (OSError, ValueError):
-                self._worker_down(w, self._procs[w].exitcode)
+                p = self._procs[w]
+                self._worker_down(w, None if p is None else p.exitcode)
         return [self._recv(w) for w in range(self.workers)]
 
     # -- trainer surface -------------------------------------------------------
@@ -610,7 +730,7 @@ class MultiprocTrainer:
         epoch = self._epochs_done
         name = ckpt.checkpoint_name(epoch)
         final = self.checkpoint_dir / name
-        tmp = self.checkpoint_dir / f"{name}.tmp-{self._bus_handle.session[-8:]}"
+        tmp = self.checkpoint_dir / f"{name}.tmp-{self._session[-8:]}"
         if tmp.exists():
             shutil.rmtree(tmp)
         tmp.mkdir(parents=True)
@@ -707,7 +827,7 @@ class MultiprocTrainer:
         self._epochs_done = 0
 
     def evaluate(self, mask_global) -> float:
-        raise NotImplementedError(
+        raise UnsupportedWorkload(
             "evaluate() runs per-rank accuracy collectives that have no "
             "multiproc path yet; build the model with backend='inproc' for "
             "evaluation passes"
@@ -737,6 +857,9 @@ class MultiprocTrainer:
         if self._bus is not None:
             self._bus.unlink()
             self._bus = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
 
     def __enter__(self) -> "MultiprocTrainer":
         return self
@@ -754,7 +877,85 @@ class MultiprocTrainer:
     def _crash_worker(self, w: int) -> None:
         """Hard-kill one worker (``os._exit``) — the crash-cleanup tests."""
         self._conns[w].send(("crash",))
-        self._procs[w].join(timeout=self.timeout)
+        if self._procs[w] is not None:
+            self._procs[w].join(timeout=self.timeout)
+
+
+def _resolve_rendezvous(rendezvous: str) -> tuple[str, int, bytes]:
+    """Turn a ``repro host`` rendezvous argument into (host, port, key).
+
+    ``"auto"`` discovers the newest live port file on this machine; a path
+    reads that port file; ``host:port`` dials directly, taking the session
+    auth key (hex) from ``$PLEXUS_AUTHKEY``.
+    """
+    from repro.runtime.rendezvous import discover_port_file, read_port_file
+
+    if rendezvous == "auto":
+        return read_port_file(discover_port_file())
+    if os.path.sep in rendezvous or rendezvous.endswith(".rdv"):
+        return read_port_file(rendezvous)
+    host, _, port = rendezvous.rpartition(":")
+    key_hex = os.environ.get("PLEXUS_AUTHKEY", "")
+    if not key_hex:
+        raise PlexusRuntimeError(
+            "--rendezvous host:port needs the session auth key in "
+            "$PLEXUS_AUTHKEY (hex); on the launcher's machine use "
+            "--rendezvous auto or pass the port file path instead"
+        )
+    return host or "127.0.0.1", int(port), bytes.fromhex(key_hex)
+
+
+def host_workers(
+    rendezvous: str = "auto", workers: int = 1, rediscover_grace: float = 10.0
+) -> int:
+    """The ``repro host`` secondary launcher: attach workers to a primary.
+
+    Spawns ``workers`` local processes that dial the primary launcher's
+    rendezvous and serve as pool members (the primary must run with
+    ``remote_workers`` > 0 so slots are left for them).  When the pool ends
+    — clean close, or the primary respawning after a failure — the worker
+    processes exit and this loop rediscovers the rendezvous: a respawned
+    primary publishes a fresh port file, so recovery re-attaches
+    automatically.  Returns the number of pool sessions served, once no
+    live rendezvous reappears within ``rediscover_grace`` seconds (primary
+    done or dead).  With an explicit ``host:port`` (no port file to watch)
+    a single session is served.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    ctx = mp.get_context("spawn")
+    served = 0
+    while True:
+        deadline = time.monotonic() + rediscover_grace
+        while True:
+            try:
+                host, port, authkey = _resolve_rendezvous(rendezvous)
+                break
+            except PlexusRuntimeError:
+                if served and time.monotonic() < deadline:
+                    time.sleep(0.25)  # a recovering primary may republish
+                    continue
+                return served
+        procs = [
+            ctx.Process(
+                target=worker_main_tcp,
+                args=(None, host, port, authkey),
+                name=f"plexus-remote-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        served += 1
+        logger.info("pool session at %s:%s ended (%d served)", host, port, served)
+        if rendezvous != "auto" and not (
+            os.path.sep in rendezvous or rendezvous.endswith(".rdv")
+        ):
+            return served  # direct address: nothing to rediscover
+        time.sleep(0.2)  # let a closing primary retire its port file
 
 
 def build_trainer(spec: WorkloadSpec, backend: str = "inproc", **kwargs):

@@ -154,6 +154,12 @@ def cleanup_orphans(prefix: str = SHM_PREFIX, include_live: bool = False) -> lis
     tracker still reclaims every segment.
     """
     removed = []
+    try:  # stale rendezvous state (port files of killed tcp launchers) too
+        from repro.runtime.rendezvous import cleanup_stale_rendezvous
+
+        removed.extend(cleanup_stale_rendezvous(prefix, include_live=include_live))
+    except Exception:
+        pass
     root = Path("/dev/shm")
     if not root.is_dir():  # non-Linux: nothing to sweep
         return removed
@@ -246,8 +252,9 @@ class ShmBus:
         except BrokenBarrierError:
             raise BarrierTimeout(
                 "shared-memory rendezvous broken: a peer worker died or "
-                f"timed out (worker {self.worker_id})",
+                f"timed out at message seq {self._seq} (worker {self.worker_id})",
                 worker_id=self.worker_id,
+                last_seq=self._seq,
             ) from None
 
     def _post(self, arrays: list[np.ndarray]) -> None:
@@ -379,6 +386,13 @@ class ShmBus:
             self.faults.exchange_done()
         return out
 
+    def inject_network_fault(self, plan) -> None:
+        raise UnsupportedWorkload(
+            f"network fault action {plan.action!r} targets the tcp transport "
+            "and cannot fire over shared memory — run with transport='tcp' "
+            "(actions 'die'/'raise'/'delay'/'hang'/'corrupt' work on both)"
+        )
+
     def corrupt_own_payload(self) -> None:
         """Flip one byte of this worker's freshly posted payload (the
         fault-injection harness's ``"corrupt"`` action; fires after
@@ -485,12 +499,16 @@ class ShmAxisCommunicator:
         self._n_groups = cube[1] * cube[2]
 
     # -- rendezvous + schedule -------------------------------------------------
+    #: names the transport in error messages (subclasses override)
+    transport_label = "shared-memory"
+
     def _check(self, stacked) -> np.ndarray:
         if isinstance(stacked, PaddedStack):
-            raise NotImplementedError(
-                "padded (quasi-equal) stacks over the multiproc shared-memory "
-                "transport are not supported; the multiproc backend requires "
-                "divisible (uniform) sharding — use backend='inproc'"
+            raise UnsupportedWorkload(
+                f"padded (quasi-equal) stacks over the multiproc "
+                f"{self.transport_label} transport are not supported; the "
+                "multiproc backend requires divisible (uniform) sharding — "
+                "use backend='inproc'"
             )
         stacked = np.asarray(stacked)
         if stacked.shape[0] != self.hi - self.lo:
@@ -633,12 +651,18 @@ class ShmAxisCommunicator:
 
     # -- unsupported surfaces --------------------------------------------------
     def _no_map(self, *_a, **_k):
-        raise NotImplementedError(
-            "per-rank-list (map_*) collectives are not available over the "
-            "multiproc transport; the multiproc backend runs the batched "
-            "engine only — use backend='inproc' for the per-rank oracle"
+        raise UnsupportedWorkload(
+            f"per-rank-list (map_*) collectives are not available over the "
+            f"multiproc {self.transport_label} transport; the multiproc "
+            "backend runs the batched engine only — use backend='inproc' "
+            "for the per-rank oracle"
         )
 
     map_all_reduce = _no_map
     map_all_gather = _no_map
     map_reduce_scatter = _no_map
+
+
+#: the Z-axis communicator class the WorkerGrid builds over this bus (the
+#: transport seam: every bus class carries its matching communicator)
+ShmBus.axis_comm_cls = ShmAxisCommunicator

@@ -55,7 +55,7 @@ from repro.runtime.faults import build_injector
 from repro.runtime.shm import BusHandle, ShmAxisCommunicator, ShmBus
 from repro.sparse.partition import block_slices
 
-__all__ = ["WorkerCluster", "WorkerGrid", "worker_slice", "worker_main"]
+__all__ = ["WorkerCluster", "WorkerGrid", "worker_slice", "worker_main", "worker_main_tcp"]
 
 
 def worker_slice(config: GridConfig, n_workers: int, worker_id: int) -> tuple[int, int]:
@@ -149,7 +149,10 @@ class WorkerGrid:
             not machine.group_is_intra_node([z * plane + off for z in range(config.gz)])
             for off in range(plane)
         )
-        self._comms[Axis.Z] = ShmAxisCommunicator(
+        # the transport seam: each bus class names its Z-axis communicator
+        # (ShmBus -> ShmAxisCommunicator, TcpBus -> TcpAxisCommunicator)
+        comm_cls = getattr(bus, "axis_comm_cls", None) or ShmAxisCommunicator
+        self._comms[Axis.Z] = comm_cls(
             bus=bus,
             store=cluster.store,
             cube=(config.gz, config.gx, config.gy),
@@ -194,20 +197,27 @@ class WorkerGrid:
 
     def groups(self, axis: Axis) -> list[ProcessGroup]:
         if axis is Axis.Z and self.config.gz > 1:
-            raise NotImplementedError(
-                "Z-axis process groups span workers; only their "
-                "shared-memory communicator is available (grid.comm)"
+            raise UnsupportedWorkload(
+                "Z-axis process groups span worker processes and have no "
+                "local member list; use grid.comm(Axis.Z) — the transport "
+                "communicator — or backend='inproc' for real groups"
             )
         return self._groups[axis]
 
     def group_of(self, rank: int, axis: Axis) -> ProcessGroup:
         if axis not in self._group_of:
-            raise NotImplementedError("Z-axis process groups span workers")
+            raise UnsupportedWorkload(
+                "Z-axis process groups span worker processes; use "
+                "grid.comm(Axis.Z) or backend='inproc' for real groups"
+            )
         return self._group_of[axis][rank]
 
     def axis_comm(self, axis: Axis) -> AxisComm:
         if axis is Axis.Z:
-            raise NotImplementedError("the Z axis runs over the shm transport")
+            raise UnsupportedWorkload(
+                "the Z axis runs over the worker-crossing transport bus; "
+                "use grid.comm(Axis.Z) for its handle-based collectives"
+            )
         return self._axis_comms[axis]
 
     def comm(self, axis: Axis):
@@ -396,30 +406,44 @@ def _worker_state(ctx: WorkerContext) -> dict:
     }
 
 
-def worker_main(
-    worker_id: int, bus_handle: BusHandle, spec, conn, restore=None
-) -> None:
-    """Spawned-process entry: build the slice, serve the command loop.
+def _report_error(conn, worker_id: int, exc: BaseException) -> None:
+    """Best-effort structured failure report to the launcher."""
+    try:
+        conn.send(
+            (
+                "error",
+                {
+                    "worker": worker_id,
+                    "etype": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        )
+    except Exception:
+        pass
+
+
+def _serve(worker_id: int, spec, conn, bus, faults, restore) -> None:
+    """The command loop shared by every transport (shm and tcp).
 
     ``restore`` is ``(checkpoint_path, epoch)`` when the launcher respawns
     the pool from a checkpoint: the worker loads its slice file before
     reporting ready, and its epoch counter (heartbeat beacons, fault
     targeting) continues from ``epoch``.
 
-    The command loop sends a ``("beat", worker, epochs_done)`` heartbeat
-    after every epoch of a ``train`` command — the supervisor's liveness
-    signal and its record of where replay must resume.  Failures are
-    reported as a structured dict (exception type, message, and the full
-    traceback text) so the launcher can re-raise a typed exception carrying
-    the original traceback.  Every exit path — clean close, a raised error
-    (including the trainer's ``check_outstanding``), or KeyboardInterrupt —
-    closes this endpoint's shared-memory mappings; the launcher owns
-    segment unlinking.
+    The loop sends a ``("beat", worker, epochs_done)`` heartbeat after
+    every epoch of a ``train`` command — the supervisor's liveness signal
+    and its record of where replay must resume (over tcp these beats ride
+    the rendezvous control connection).  Failures are reported as a
+    structured dict (exception type, message, and the full traceback text)
+    so the launcher can re-raise a typed exception carrying the original
+    traceback.  Every exit path — clean close, a raised error (including
+    the trainer's ``check_outstanding``), or KeyboardInterrupt — closes
+    this endpoint's bus (shared-memory mappings or sockets); the launcher
+    owns segment unlinking.
     """
-    bus = None
     try:
-        faults = build_injector(getattr(spec, "faults", None), worker_id)
-        bus = ShmBus(bus_handle, worker_id=worker_id, faults=faults)
         ctx = build_worker(spec, worker_id, bus)
         epochs_done = 0
         if restore is not None:
@@ -464,24 +488,75 @@ def worker_main(
             else:
                 raise PlexusRuntimeError(f"unknown worker command {cmd!r}")
     except BaseException as exc:
-        try:
-            conn.send(
-                (
-                    "error",
-                    {
-                        "worker": worker_id,
-                        "etype": type(exc).__name__,
-                        "message": str(exc),
-                        "traceback": traceback.format_exc(),
-                    },
-                )
-            )
-        except Exception:
-            pass
+        _report_error(conn, worker_id, exc)
     finally:
-        if bus is not None:
-            bus.close()
+        bus.close()
         try:
             conn.close()
         except Exception:
             pass
+
+
+def worker_main(
+    worker_id: int, bus_handle: BusHandle, spec, conn, restore=None
+) -> None:
+    """Spawned-process entry (shared-memory transport): attach the bus,
+    build the slice, serve the command loop."""
+    try:
+        faults = build_injector(getattr(spec, "faults", None), worker_id)
+        bus = ShmBus(bus_handle, worker_id=worker_id, faults=faults)
+    except BaseException as exc:
+        _report_error(conn, worker_id, exc)
+        try:
+            conn.close()
+        except Exception:
+            pass
+        return
+    _serve(worker_id, spec, conn, bus, faults, restore)
+
+
+def worker_main_tcp(preferred_id: int | None, host: str, port: int, authkey: bytes) -> None:
+    """Spawned-process entry (tcp transport): rendezvous, then serve.
+
+    Opens the peer-plane listener *first* (so its port can be advertised),
+    dials the launcher's rendezvous, authenticates, and receives the worker
+    id, the signed membership manifest, and the workload spec over the
+    control connection — which then carries the command loop and the
+    heartbeats.  The same entry serves launcher-spawned local workers and
+    ``repro host``-managed remote workers; any restore checkpoint rides the
+    spec message, so respawn-and-replay needs no transport-specific path.
+    """
+    from repro.runtime import net, rendezvous as rdv
+
+    listener = net.peer_listener(16)
+    conn = None
+    wid = preferred_id if preferred_id is not None else -1
+    try:
+        advertise_port = listener.getsockname()[1]
+        conn, local_host = rdv.connect_rendezvous(host, port, authkey)
+        conn.send(("hello", preferred_id, (local_host, advertise_port)))
+        kind, wid, blob, sig = conn.recv()
+        if kind != "welcome":
+            raise PlexusRuntimeError(f"rendezvous protocol: expected welcome, got {kind!r}")
+        info = rdv.verify_manifest(authkey, blob, sig)
+        peers = {int(k): (h, int(p)) for k, (h, p) in info["peers"].items()}
+        kind, spec, restore, tcp_cfg = conn.recv()
+        if kind != "spec":
+            raise PlexusRuntimeError(f"rendezvous protocol: expected spec, got {kind!r}")
+        faults = build_injector(getattr(spec, "faults", None), wid)
+        bus = net.TcpBus(
+            listener, peers, wid, info["session"], authkey, cfg=tcp_cfg, faults=faults
+        )
+    except BaseException as exc:
+        if conn is not None:
+            _report_error(conn, wid, exc)
+            try:
+                conn.close()
+            except Exception:
+                pass
+        try:
+            listener.close()
+        except OSError:
+            pass
+        return
+    _serve(wid, spec, conn, bus, faults, restore)

@@ -142,6 +142,36 @@ class TestDetection:
         assert elapsed < 30, f"wedge detection took {elapsed:.1f}s"
         assert ei.value.last_epoch == 1
 
+    def test_hung_worker_under_overlap_with_inflight_prefetch(self):
+        """Wedge detection while the overlap schedule holds in-flight
+        prefetch handles across the hang point: the heartbeat monitor (not
+        the bus deadline) must end the wait, and the timeout message must
+        report every worker's last-seen heartbeat age and last completed
+        epoch (the straggler table)."""
+        plan = FaultPlan(worker=1, point="mid_collective", action="hang", epoch=1)
+        t0 = time.monotonic()
+        with pytest.raises(BarrierTimeout, match="heartbeat") as ei:
+            with MultiprocTrainer(
+                _spec(faults=(plan,), overlap=True), timeout=120, heartbeat_timeout=5.0
+            ) as mpt:
+                mpt.train(3)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30, f"wedge detection took {elapsed:.1f}s"
+        assert ei.value.last_epoch == 1
+        msg = str(ei.value)
+        assert "per-worker liveness" in msg
+        assert "last heartbeat" in msg and "last completed epoch" in msg
+
+    def test_corrupt_trips_crc_on_overflow_segment(self):
+        """A 4 KiB mailbox forces every exchange through overflow segments;
+        the flipped byte must trip the CRC on that path too."""
+        plan = FaultPlan(worker=0, point="pre_barrier", action="corrupt", epoch=1)
+        with pytest.raises(PayloadCorruption, match="multiproc runtime failed"):
+            with MultiprocTrainer(
+                _spec(faults=(plan,)), timeout=60, mailbox_bytes=4096
+            ) as mpt:
+                mpt.train(3)
+
     def test_delay_fault_is_bitwise_invisible(self, baseline):
         """A late barrier arrival shifts wall time only: the simulated
         clocks and losses cannot move."""

@@ -177,10 +177,12 @@ class TestRuntimeSemantics:
             assert not st["by_phase"]
 
     def test_evaluate_not_supported(self):
+        from repro.errors import UnsupportedWorkload
+
         spec = _spec(GridConfig(2, 2, 1), workers=1)
         with MultiprocTrainer(spec, timeout=60) as mpt:
             mpt.train(1)
-            with pytest.raises(NotImplementedError, match="inproc"):
+            with pytest.raises(UnsupportedWorkload, match="inproc"):
                 mpt.evaluate(np.ones(N_NODES, dtype=bool))
 
     def test_launcher_rejects_unsupported_workloads(self):
