@@ -81,6 +81,10 @@ LAYER_DIMS_MP = [192, 192, 192, 48]
 #: actually run in parallel (see MULTIPROC_MIN_CPUS)
 MULTIPROC_SPEEDUP_FLOOR = 1.5
 MULTIPROC_MIN_CPUS = 2 * MULTIPROC_WORKERS
+#: the telemetry layer (repro.obs) may cost at most this throughput
+#: fraction with tracing *enabled*; disabled it must be unmeasurable (the
+#: untraced side of the pair runs with the instrumentation dormant)
+TRACING_MAX_SLOWDOWN = 0.05
 _BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_train.json"
 
 
@@ -261,6 +265,57 @@ def _measure_multiproc_run(min_seconds: float, min_epochs: int) -> dict:
     }
 
 
+def _measure_tracing_run(min_seconds: float, min_epochs: int) -> dict:
+    """Telemetry overhead: traced vs untraced, measured back-to-back.
+
+    The untraced side runs the dormant hot path (every instrumentation
+    site's guard branch, no events) — the shipping default.  The traced
+    side runs with spans enabled and a :class:`~repro.obs.trace.SimSink`
+    mirroring every simulated-clock charge, and must sustain at least
+    ``1 - TRACING_MAX_SLOWDOWN`` of the untraced rate.  A fixed-epoch
+    probe asserts the losses agree exactly: tracing only observes.
+    """
+    from repro.obs import trace as obs_trace
+
+    # tracing cost is per *event* (a fixed ~160 appends/epoch at this
+    # grid), so the overhead fraction is only meaningful against an epoch
+    # with realistic compute weight — use the multiproc workload (~40x
+    # heavier than the microbenchmark toy), measured in 5-epoch chunks
+    def _build():
+        return build_trainer(
+            nodes=N_NODES_MP, layer_dims=LAYER_DIMS_MP, expect_uniform=True
+        )
+
+    chunk = 5
+    plain = _build()
+    eps_plain, _, _, _ = _measure(plain, min_seconds, chunk)
+    obs_trace.enable("bench")
+    traced = _build()
+    traced.model.cluster.store.trace = obs_trace.SimSink()
+    try:
+        eps_traced, epochs, elapsed, result = _measure(
+            traced, min_seconds, chunk
+        )
+        probe_traced = _build()
+        probe_traced.model.cluster.store.trace = obs_trace.SimSink()
+        losses_traced = probe_traced.train(3).losses
+    finally:
+        obs_trace.disable()
+    losses_plain = _build().train(3).losses
+    if losses_plain != losses_traced:
+        raise RuntimeError("tracing: traced run diverged — observation broke parity")
+    floor = (1.0 - TRACING_MAX_SLOWDOWN) * eps_plain
+    return {
+        "epochs_measured": epochs,
+        "seconds": round(elapsed, 4),
+        "epochs_per_sec": round(eps_traced, 2),
+        "untraced_epochs_per_sec": round(eps_plain, 2),
+        "traced_over_untraced": round(eps_traced / eps_plain, 4),
+        "floor_epochs_per_sec": round(floor, 2),
+        "final_loss": round(float(result.losses[-1]), 6),
+    }
+
+
 def measure_throughput(min_seconds: float = 0.5, min_epochs: int = 50) -> dict:
     """Measure all floor-gated runs back to back."""
     return {
@@ -290,6 +345,7 @@ def measure_throughput(min_seconds: float = 0.5, min_epochs: int = 50) -> dict:
             # the workload is ~40x heavier per epoch than the others, so it
             # measures in chunks of 5 epochs regardless of min_epochs
             "multiproc": _measure_multiproc_run(min_seconds, 5),
+            "tracing": _measure_tracing_run(min_seconds, min_epochs),
         },
     }
 

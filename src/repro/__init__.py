@@ -74,6 +74,7 @@ def train_plexus(
     transport: str = "shm",
     rendezvous: str | None = None,
     remote_workers: int = 0,
+    trace_dir: str | None = None,
 ) -> TrainResult:
     """One-call end-to-end training on a scaled synthetic dataset.
 
@@ -103,6 +104,12 @@ def train_plexus(
     ``TrainResult``, bit for bit, as an uninterrupted run.  On the
     multiproc backend a crashed worker additionally triggers automatic
     respawn-and-replay (up to ``max_restarts`` times) inside the call.
+
+    ``trace_dir`` turns on the telemetry layer (:mod:`repro.obs`): span
+    traces, per-epoch metrics and simulated-clock phase totals are written
+    into the directory as a Perfetto-loadable Chrome trace plus JSONL
+    event/metrics logs — on both backends, without changing any numeric
+    result (traced runs are bitwise identical to untraced ones).
     """
     from dataclasses import replace
 
@@ -166,6 +173,7 @@ def train_plexus(
             transport=transport,
             rendezvous=rendezvous,
             remote_workers=remote_workers,
+            trace_dir=trace_dir,
         ) as trainer:
             if checkpoint_dir is None:
                 return trainer.train(epochs)
@@ -177,6 +185,11 @@ def train_plexus(
             result.epochs.extend(trainer.history[:epochs])
             return result
     cluster = VirtualCluster(gpus, machine)
+    if trace_dir is not None:
+        from repro.obs import trace as _trace
+
+        _trace.enable("inproc")
+        cluster.store.trace = _trace.SimSink()
     model = PlexusGCN(
         cluster,
         config,
@@ -189,7 +202,10 @@ def train_plexus(
     )
     trainer = PlexusTrainer(model)
     if checkpoint_dir is None:
-        return trainer.train(epochs)
+        result = trainer.train(epochs)
+        if trace_dir is not None:
+            _write_inproc_trace(trace_dir, cluster, epochs)
+        return result
     # inproc checkpointed loop: resume from the newest checkpoint, train in
     # checkpoint_every-sized stretches, seal each with a checkpoint
     from pathlib import Path
@@ -212,4 +228,30 @@ def train_plexus(
         trainer.save_checkpoint(root, done, history)
     result = TrainResult()
     result.epochs.extend(history[:epochs])
+    if trace_dir is not None:
+        _write_inproc_trace(trace_dir, cluster, epochs)
     return result
+
+
+def _write_inproc_trace(trace_dir: str, cluster, epochs: int) -> None:
+    """Drain the in-process telemetry buffers into the trace artifacts."""
+    from pathlib import Path
+
+    from repro.obs import TraceCollector
+    from repro.obs import trace as _trace
+    from repro.obs.metrics import registry as _metrics
+
+    collector = TraceCollector()
+    collector.add_wall("inproc", _trace.drain())
+    sink = cluster.store.trace
+    if sink is not None:
+        sim, links = sink.drain()
+        collector.add_sim("inproc", sim, links)
+    for ph, bucket in cluster.store.by_phase.items():
+        _metrics.gauge("sim_phase:" + ph, float(bucket.sum()))
+    collector.add_metrics("inproc", epochs, _metrics.snapshot())
+    _metrics.clear()
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    collector.write(out)
+    _trace.disable()

@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import PERLMUTTER, machine_by_name, train_plexus
@@ -71,6 +72,7 @@ def _cmd_train(args) -> int:
         transport=args.transport,
         rendezvous=args.rendezvous,
         remote_workers=args.remote_workers,
+        trace_dir=args.trace_dir,
     )
     for i, e in enumerate(result.epochs):
         print(f"epoch {i:3d}  loss {e.loss:.6f}  time {e.epoch_time * 1e3:9.3f} ms "
@@ -92,6 +94,21 @@ def _cmd_host(args) -> int:
             file=sys.stderr,
         )
     return 0 if served else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import summarize_trace_dir, validate_trace_dir
+
+    if args.action == "summarize":
+        print(summarize_trace_dir(args.trace_dir))
+        return 0
+    problems = validate_trace_dir(args.trace_dir)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    print(f"{args.trace_dir}: trace artifacts valid")
+    return 0
 
 
 def _cmd_select(args) -> int:
@@ -180,6 +197,14 @@ def main(argv: list[str] | None = None) -> int:
              "attached from a second launcher ('repro host') instead of "
              "being spawned here",
     )
+    p.add_argument(
+        "--trace-dir", default=None,
+        help="enable the telemetry layer (repro.obs) and write the merged "
+             "trace artifacts here: trace.json (Chrome trace-event JSON, "
+             "loadable in Perfetto), events.jsonl, metrics.jsonl and "
+             "summary.json — results stay bitwise identical to an untraced "
+             "run",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -200,6 +225,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(func=_cmd_host)
 
+    p = sub.add_parser(
+        "trace",
+        help="inspect a --trace-dir: 'summarize' prints phase totals, "
+             "metrics and liveness; 'validate' schema-checks the Chrome "
+             "trace (exit 1 on problems)",
+    )
+    p.add_argument("action", choices=("summarize", "validate"))
+    p.add_argument("trace_dir")
+    p.set_defaults(func=_cmd_trace)
+
     p = sub.add_parser("select", help="rank 3D configurations with the performance model")
     p.add_argument("--dataset", default="ogbn-products", choices=list_datasets())
     p.add_argument("--gpus", type=int, default=64)
@@ -212,4 +247,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # stdout went away mid-print (`repro trace summarize | head`):
+        # detach it so the interpreter's shutdown flush can't re-raise
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

@@ -91,6 +91,7 @@ from repro.dist.comm import PendingCollective, PendingMap
 from repro.gpu.gemm import GemmMode, gemm_time
 from repro.gpu.spmm import spmm_time_batch
 from repro.nn.functional import relu
+from repro.obs import trace as _trace
 from repro.sparse.ops import spmm
 from repro.sparse.partition import block_slices, csr_block
 
@@ -302,9 +303,10 @@ class PlexusLayer:
         layer-0 F all-gather (the cross-epoch prefetch); when absent the
         layer issues its own.
         """
-        if self.engine == "batched":
-            return self._forward_batched(f_in, w_pending, f_pending)
-        return self._forward_perrank(f_in, w_pending, f_pending)
+        with _trace.span(f"layer{self.layer_idx}.forward"):
+            if self.engine == "batched":
+                return self._forward_batched(f_in, w_pending, f_pending)
+            return self._forward_perrank(f_in, w_pending, f_pending)
 
     def _forward_perrank(
         self, f_in: list[np.ndarray], w_pending=None, f_pending=None
@@ -433,9 +435,10 @@ class PlexusLayer:
         model issues the cross-epoch F prefetch on layer 0 so the gather
         hides behind the remaining dH GEMM, all-reduce and epoch barrier.
         """
-        if self.engine == "batched":
-            return self._backward_batched(dq, cache, w_pending, post_w_hook)
-        return self._backward_perrank(dq, cache, w_pending, post_w_hook)
+        with _trace.span(f"layer{self.layer_idx}.backward"):
+            if self.engine == "batched":
+                return self._backward_batched(dq, cache, w_pending, post_w_hook)
+            return self._backward_perrank(dq, cache, w_pending, post_w_hook)
 
     def _backward_perrank(
         self, dq: list[np.ndarray], cache: LayerCache, w_pending=None, post_w_hook=None

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.batch import PaddedStack, stack_data
 from repro.core.grid import PlexusGrid
 from repro.core.model import PlexusGCN
+from repro.obs import trace as _trace
 
 __all__ = ["EpochStats", "TrainResult", "distributed_masked_ce", "distributed_accuracy", "PlexusTrainer"]
 
@@ -337,10 +338,14 @@ class PlexusTrainer:
         # O(1) lookup per rank, not a scan over the epoch's events
         comm0 = cluster.category_totals("comm:")
         comp0 = cluster.category_totals("comp:")
-        logits, caches = model.forward()
-        loss, d_logits = distributed_masked_ce(model, logits)
-        grads = model.backward(d_logits, caches)
-        model.apply_gradients(grads)
+        with _trace.span("forward"):
+            logits, caches = model.forward()
+        with _trace.span("loss"):
+            loss, d_logits = distributed_masked_ce(model, logits)
+        with _trace.span("backward"):
+            grads = model.backward(d_logits, caches)
+        with _trace.span("apply_gradients"):
+            model.apply_gradients(grads)
         # a dropped (never-waited) collective handle means comm cost is
         # missing from the books — fail loudly before closing the epoch
         # (the cross-epoch F prefetch is intentionally in flight: exempt)
@@ -364,8 +369,9 @@ class PlexusTrainer:
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         result = TrainResult()
-        for _ in range(epochs):
-            result.epochs.append(self.train_epoch())
+        for e in range(epochs):
+            with _trace.span("epoch", epoch=e):
+                result.epochs.append(self.train_epoch())
         return result
 
     def save_checkpoint(

@@ -117,6 +117,7 @@ class ClockStore:
         "link_queues",
         "max_inflight",
         "outstanding",
+        "trace",
     )
 
     def __init__(self, world: int) -> None:
@@ -133,6 +134,10 @@ class ClockStore:
         self.max_inflight: int | None = None
         #: id(handle) -> in-flight PendingCollective (issued, not yet waited)
         self.outstanding: dict[int, object] = {}
+        #: optional :class:`repro.obs.trace.SimSink` mirroring every charge;
+        #: ``record_*`` funnel all mutation, so a sink here sees everything
+        #: — detached (None) it costs one attribute check per record
+        self.trace = None
 
     # -- bucket access ---------------------------------------------------------
     def phase_bucket(self, phase: str) -> np.ndarray:
@@ -158,15 +163,21 @@ class ClockStore:
     def record_at(self, i: int, phase: str, duration: float) -> None:
         self.phase_bucket(phase)[i] += duration
         self.category_bucket(_category(phase))[i] += duration
+        if self.trace is not None:
+            self.trace.rec_at(i, phase, duration)
 
     def record_all(self, phase: str, durations: np.ndarray | float) -> None:
         """Attribute per-rank ``durations`` (scalar broadcasts) to ``phase``."""
         self.phase_bucket(phase)[:] += durations
         self.category_bucket(_category(phase))[:] += durations
+        if self.trace is not None:
+            self.trace.rec_all(phase, durations)
 
     def record_idx(self, idx: np.ndarray, phase: str, durations: np.ndarray | float) -> None:
         self.phase_bucket(phase)[idx] += durations
         self.category_bucket(_category(phase))[idx] += durations
+        if self.trace is not None:
+            self.trace.rec_idx(idx, phase, durations)
 
     # -- queries ---------------------------------------------------------------
     def prefix_totals(self, prefix: str) -> np.ndarray:
@@ -221,6 +232,8 @@ class ClockStore:
         self.links.clear()
         self.link_queues.clear()
         self.outstanding.clear()
+        if self.trace is not None:
+            self.trace.clear()
 
     def snapshot(self) -> tuple:
         return (
@@ -439,11 +452,16 @@ class VirtualCluster:
         (including link occupancy and the outstanding-handle registry), so
         diagnostic passes (e.g. ``PlexusTrainer.evaluate``) can drive the
         full engine without polluting the experiment's epoch accounting.
+        The trace sink is detached for the duration for the same reason:
+        un-charged activity must not appear in the exported trace (whose
+        per-phase sums are asserted bitwise against the buckets).
         """
         snap = self.store.snapshot()
+        sink, self.store.trace = self.store.trace, None
         try:
             yield self
         finally:
+            self.store.trace = sink
             self.store.restore(snap)
 
     def category_totals(self, prefix: str) -> np.ndarray:

@@ -68,6 +68,7 @@ import numpy as np
 
 from repro.dist.cluster import ClockStore
 from repro.errors import CollectiveMisuse
+from repro.obs import trace as _trace
 from repro.dist.collectives import (
     AxisComm,
     all_to_all_time,
@@ -270,10 +271,15 @@ class PendingCollective:
                 "PendingCollective completes exactly once"
             )
         self._waited = True
+        traced = _trace.enabled
+        if traced:
+            _trace.emit("B", "wait", {"phase": self.phase})
         if self._record is not None:
             self._complete(self._record)
             if self._store is not None:
                 self._store.resolve_outstanding(self)
+        if traced:
+            _trace.emit("E", "wait")
         result, self._result = self._result, None
         return result
 
@@ -484,6 +490,10 @@ class GroupCommunicator:
             begin = ready if (link is None or link <= ready) else link
             end = begin + duration
             store.links[self._link_key] = end
+            if store.trace is not None:
+                store.trace.link(("link", self._link_key), full_phase, float(begin), float(end))
+            if _trace.enabled:
+                _trace.instant("issue", phase=full_phase)
             if limit is not None:
                 _enqueue_inflight(store, self._queue_keys, float(end))
             record = ("idx", idx, begin, end, duration)
@@ -614,6 +624,8 @@ class AxisCommunicator:
         "issue_overhead_s",
         "_link_key",
         "_group_link_keys",
+        "_group_trace_keys",
+        "_axis_trace_keys",
         "_ordered_group_comms",
         "_padded_plans",
     )
@@ -635,6 +647,10 @@ class AxisCommunicator:
         #: the map_* path uses), so stacked and group-wise operations on
         #: one axis serialize against each other
         self._group_link_keys: list[int] | None = None
+        #: memoized key tuples for SimSink.link_batch — rebuilt lazily on
+        #: first traced issue, invalidated when groups re-attach
+        self._group_trace_keys: tuple | None = None
+        self._axis_trace_keys: tuple | None = None
         #: group communicators in keepdims-ravel order (the bounded-issue
         #: path walks them sequentially, mirroring the map_* schedule)
         self._ordered_group_comms: list[GroupCommunicator] | None = None
@@ -680,6 +696,7 @@ class AxisCommunicator:
             raise ValueError("groups do not tile the axis's off-axis cube")
         self._ordered_group_comms = [gc for _, gc in ordered]
         self._group_link_keys = [gc._link_key for gc in self._ordered_group_comms]
+        self._group_trace_keys = None
 
     # -- issue machinery -----------------------------------------------------
     def _issue(self, duration, phase: str, result) -> PendingCollective:
@@ -711,6 +728,15 @@ class AxisCommunicator:
                 end = begin + duration
                 for k, v in zip(keys, end.ravel()):
                     links[k] = float(v)
+                if store.trace is not None:
+                    tk = self._group_trace_keys
+                    if tk is None:
+                        tk = self._group_trace_keys = tuple(("link", k) for k in keys)
+                    # begin/end are fresh per issue and never written in
+                    # place (the pending record aliases them the same way)
+                    store.trace.link_batch(
+                        tk, full_phase, begin.ravel(), end.ravel()
+                    )
         else:  # detached descriptor (no groups known): axis-level reservation
             if limit is not None:
                 # synthetic per-group queue keys so the bound holds here too
@@ -721,9 +747,23 @@ class AxisCommunicator:
             begin = ready if link is None else np.maximum(ready, link)
             end = begin + duration
             links[self._link_key] = end
+            if store.trace is not None:
+                tk = self._axis_trace_keys
+                if tk is None or len(tk) != ready.size:
+                    tk = self._axis_trace_keys = tuple(
+                        ("axis", self._link_key, gi) for gi in range(ready.size)
+                    )
+                store.trace.link_batch(
+                    tk,
+                    full_phase,
+                    np.broadcast_to(begin, ready.shape).ravel(),
+                    np.broadcast_to(end, ready.shape).ravel(),
+                )
             if limit is not None:
                 for k, v in zip(dkeys, np.broadcast_to(end, ready.shape).ravel()):
                     insort(store.link_queues.setdefault(k, []), float(v))
+        if _trace.enabled:
+            _trace.instant("issue", phase=full_phase)
         record = ("cube", d.cube, begin, end, duration)
         return PendingCollective(full_phase, result, store, record)
 
@@ -754,6 +794,8 @@ class AxisCommunicator:
             b = r if link <= r else link
             e = b + float(dur[gi])
             links[gc._link_key] = e
+            if store.trace is not None:
+                store.trace.link(("link", gc._link_key), phase, b, e)
             _enqueue_inflight(store, gc._queue_keys, float(e))
             begin[gi] = b
             end[gi] = e

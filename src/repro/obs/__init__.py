@@ -1,0 +1,47 @@
+"""Unified telemetry: span tracing, metrics, and trace export.
+
+The observability subsystem of the runtime (ISSUE 10): a near-zero-
+overhead span tracer over two time domains (wall clock and the simulated
+``ClockStore`` clock), a process-local metrics registry, and exporters
+producing a merged Perfetto-loadable Chrome trace plus JSONL logs.
+
+Quick use (the :func:`repro.train_plexus` ``trace_dir=`` argument wires
+all of this automatically, including cross-process collection on the
+multiproc backend)::
+
+    from repro.obs import trace
+    trace.enable("launcher")
+    with trace.span("epoch", epoch=0):
+        ...
+    events = trace.drain()
+
+Everything is off by default; a disabled tracer costs one branch per
+instrumentation site (benchmarked by the trainer throughput floors).
+"""
+
+from repro.obs import trace
+from repro.obs.export import (
+    TraceCollector,
+    sim_phase_totals,
+    validate_chrome_trace,
+    validate_trace_dir,
+)
+from repro.obs.log import get_logger, set_worker
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.summary import format_liveness, summarize_trace_dir
+from repro.obs.trace import SimSink
+
+__all__ = [
+    "trace",
+    "SimSink",
+    "TraceCollector",
+    "sim_phase_totals",
+    "validate_chrome_trace",
+    "validate_trace_dir",
+    "get_logger",
+    "set_worker",
+    "MetricsRegistry",
+    "registry",
+    "format_liveness",
+    "summarize_trace_dir",
+]

@@ -1,0 +1,79 @@
+"""Centralized logging for the repro tree.
+
+Every module gets its logger through :func:`get_logger`, which lazily
+installs one stderr handler on the ``"repro"`` root with a level taken
+from ``REPRO_LOG_LEVEL`` (name or number; default ``WARNING``) — set
+``REPRO_LOG_LEVEL=DEBUG`` to watch the launcher's supervision decisions
+without touching code.
+
+Worker processes call :func:`set_worker` right after spawn: a filter on
+the root's handler prefixes every record with ``[worker N]`` so
+interleaved stderr from a multi-worker pool stays attributable.  (The
+filter lives on the handler, not the logger — logger filters only apply
+to records logged *through that logger*, while handler filters see every
+record the ``repro`` tree emits.)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "set_worker", "ENV_VAR"]
+
+ENV_VAR = "REPRO_LOG_LEVEL"
+_ROOT = "repro"
+_configured = False
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    _configured = True
+    root = logging.getLogger(_ROOT)
+    raw = os.environ.get(ENV_VAR, "WARNING").strip()
+    try:
+        level = int(raw)
+    except ValueError:
+        level = logging.getLevelName(raw.upper())
+        if not isinstance(level, int):
+            level = logging.WARNING
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        ))
+        root.addHandler(handler)
+        root.propagate = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for ``name``, under the configured ``repro`` root."""
+    _configure()
+    if name != _ROOT and not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+class _WorkerPrefix(logging.Filter):
+    def __init__(self, worker_id: int) -> None:
+        super().__init__()
+        self.prefix = f"[worker {worker_id}] "
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not str(record.msg).startswith(self.prefix):
+            record.msg = self.prefix + str(record.msg)
+        return True
+
+
+def set_worker(worker_id: int) -> None:
+    """Tag every record this process emits with ``[worker N]``."""
+    _configure()
+    for handler in logging.getLogger(_ROOT).handlers:
+        for f in list(handler.filters):
+            if isinstance(f, _WorkerPrefix):
+                handler.removeFilter(f)
+        handler.addFilter(_WorkerPrefix(worker_id))

@@ -1,0 +1,74 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+One module-level :data:`registry` per process, mirroring the tracer's
+buffer-per-process model: the launcher and every worker accumulate into
+their own registry, workers ship per-epoch snapshots launcher-ward over
+the control plane, and the launcher writes one ``metrics.jsonl`` line
+per (epoch, process).
+
+Collection is gated by the same hot-path switch as the tracer
+(:data:`repro.obs.trace.enabled`): every instrumented call site checks
+the flag before touching the registry, so a disabled run pays one branch
+per site and allocates nothing.
+
+Metric kinds:
+
+* **counters** — monotone accumulators (``frames_sent``, ``bytes_sent``,
+  ``crc_failures``, ``reconnects``, ``epochs_done`` ...);
+* **gauges** — last-written values (``heartbeat_age_s``,
+  ``epochs_per_sec`` ...);
+* **histograms** — streaming ``count/sum/min/max`` summaries
+  (``exchange_wall_s`` ...) — enough for the summary CLI without storing
+  samples.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsRegistry", "registry"]
+
+
+class MetricsRegistry:
+    """Counters, gauges and streaming histograms for one process."""
+
+    __slots__ = ("counters", "gauges", "hists")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.hists: dict[str, list] = {}  # name -> [count, sum, min, max]
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        h = self.hists.get(name)
+        if h is None:
+            self.hists[name] = [1, float(value), float(value), float(value)]
+        else:
+            h[0] += 1
+            h[1] += value
+            h[2] = min(h[2], value)
+            h[3] = max(h[3], value)
+
+    def snapshot(self) -> dict:
+        """A picklable point-in-time copy (counters keep accumulating)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "hists": {
+                k: {"count": v[0], "sum": v[1], "min": v[2], "max": v[3]}
+                for k, v in self.hists.items()
+            },
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.hists.clear()
+
+
+#: the process-wide registry every instrumentation site writes to
+registry = MetricsRegistry()

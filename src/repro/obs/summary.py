@@ -1,0 +1,99 @@
+"""Human-readable rendering: the liveness table and ``trace summarize``.
+
+The per-worker liveness table is shared between two consumers — the
+:class:`~repro.errors.BarrierTimeout` message the launcher raises when a
+worker goes quiet, and the ``repro trace summarize`` CLI — so a straggler
+report reads the same whether it arrives as an exception or as a
+post-mortem on a trace directory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["format_liveness", "summarize_trace_dir"]
+
+
+def format_liveness(rows) -> str:
+    """The per-worker liveness table.
+
+    ``rows`` is an iterable of ``(worker, tags, beat_age_s, last_epoch)``
+    where ``tags`` is a pre-rendered string such as ``" [remote]"`` or
+    ``" [pipe closed]"`` (empty for a plain local worker).
+    """
+    lines = [
+        f"  worker {w}{tags}: last heartbeat {age:.1f}s ago, "
+        f"last completed epoch {epoch}"
+        for w, tags, age, epoch in rows
+    ]
+    return "per-worker liveness:\n" + "\n".join(lines)
+
+
+def summarize_trace_dir(trace_dir) -> str:
+    """Render a trace directory (``--trace-dir`` output) for humans."""
+    root = Path(trace_dir)
+    sections: list[str] = [f"trace summary: {root}"]
+
+    summary = _load_json(root / "summary.json")
+    if summary is None:
+        return sections[0] + "\n  (no summary.json — not a trace directory?)"
+
+    procs = summary.get("processes") or []
+    sections.append(f"processes: {', '.join(procs) if procs else '(none)'}")
+
+    totals = summary.get("sim_phase_totals") or {}
+    if totals:
+        sections.append("simulated time by phase (sum over ranks / max rank):")
+        width = max(len(ph) for ph in totals)
+        for ph in sorted(totals):
+            ranks = totals[ph]
+            sections.append(
+                f"  {ph:<{width}}  {sum(ranks) * 1e3:10.3f} ms "
+                f"/ {max(ranks) * 1e3:9.3f} ms"
+            )
+
+    rows = _final_metrics_rows(root / "metrics.jsonl")
+    if rows:
+        sections.append("final counters per process:")
+        for process in sorted(rows):
+            row = rows[process]
+            counters = row.get("counters") or {}
+            rendered = ", ".join(
+                f"{k}={_fmt_num(v)}" for k, v in sorted(counters.items())
+            ) or "(none)"
+            sections.append(f"  {process} (epoch {row.get('epoch')}): {rendered}")
+
+    liveness = summary.get("liveness") or []
+    if liveness:
+        sections.append(format_liveness(liveness))
+    return "\n".join(sections)
+
+
+def _final_metrics_rows(path: Path) -> dict:
+    """The last snapshot per process (counters are cumulative)."""
+    rows: dict[str, dict] = {}
+    if not path.exists():
+        return rows
+    for line in path.read_text().splitlines():
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        process = row.get("process", "?")
+        if process not in rows or row.get("epoch", -1) >= rows[process].get("epoch", -1):
+            rows[process] = row
+    return rows
+
+
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _fmt_num(v) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.3f}"
+    return str(int(v))

@@ -146,6 +146,16 @@ class FaultInjector:
             self._act(plan, bus)
 
     def _act(self, plan: FaultPlan, bus) -> None:
+        from repro.obs import trace as _trace
+
+        if _trace.enabled:
+            _trace.instant(
+                f"fault:{plan.action}",
+                worker=plan.worker,
+                point=plan.point,
+                epoch=plan.epoch,
+                exchange=plan.exchange,
+            )
         if plan.action == "die":
             os._exit(plan.exit_code)
         elif plan.action == "raise":

@@ -43,7 +43,6 @@ crashed worker left behind.
 from __future__ import annotations
 
 import atexit
-import logging
 import multiprocessing as mp
 import os
 import secrets
@@ -74,6 +73,10 @@ from repro.errors import (
     WorkerFailed,
 )
 from repro.graph.shardio import LoadReport
+from repro.obs import TraceCollector, format_liveness
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _metrics
 from repro.runtime import checkpoint as ckpt
 from repro.runtime.faults import FaultPlan
 from repro.runtime.net import TcpConfig
@@ -88,7 +91,7 @@ __all__ = [
     "is_uniform_workload",
 ]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: default per-worker mailbox size; payloads beyond it take the overflow path
 DEFAULT_MAILBOX_BYTES = 8 << 20
@@ -131,6 +134,9 @@ class WorkloadSpec:
     train_mask: np.ndarray | None = None
     shard_dir: str | None = None
     faults: tuple = ()
+    #: enable span tracing + metrics collection inside the workers (the
+    #: launcher sets this when constructed with ``trace_dir``)
+    trace: bool = False
 
     def __post_init__(self) -> None:
         in_memory = self.adjacency is not None
@@ -250,6 +256,7 @@ class MultiprocTrainer:
         rendezvous: str | tuple[str, int] | None = None,
         remote_workers: int = 0,
         tcp_config: TcpConfig | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         _validate_spec(spec)
         if checkpoint_every < 1:
@@ -272,6 +279,13 @@ class MultiprocTrainer:
         self.tcp_config = tcp_config or TcpConfig(
             exchange_timeout=min(timeout * 0.75, TcpConfig.exchange_timeout)
         )
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._collector: TraceCollector | None = None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            self._collector = TraceCollector()
+            _trace.enable("launcher")
+            spec = replace(spec, trace=True)
         self.spec = spec
         self.workers = spec.workers
         self.timeout = timeout
@@ -336,14 +350,17 @@ class MultiprocTrainer:
         self._eof: set[int] = set()
         self._worker_epoch = [self._epochs_done] * self.workers
         self._last_beat = [time.monotonic()] * self.workers
-        if self.transport == "tcp":
-            self._spawn_tcp(ctx, spec, restore)
-        else:
-            self._spawn_shm(ctx, spec, restore)
-        self._monitor = _PoolMonitor(self._procs)
-        self._monitor.start()
-        for w in range(self.workers):
-            self._recv(w)  # ("ready", w) or the build/restore error
+        with _trace.span(
+            "launcher.spawn_pool", workers=self.workers, transport=self.transport
+        ):
+            if self.transport == "tcp":
+                self._spawn_tcp(ctx, spec, restore)
+            else:
+                self._spawn_shm(ctx, spec, restore)
+            self._monitor = _PoolMonitor(self._procs)
+            self._monitor.start()
+            for w in range(self.workers):
+                self._recv(w)  # ("ready", w) or the build/restore error
 
     def _spawn_shm(self, ctx, spec: WorkloadSpec, restore) -> None:
         self._bus_handle = BusHandle(
@@ -413,6 +430,7 @@ class MultiprocTrainer:
         """Stop the pool after a failure (hard path: the rendezvous is
         already broken, so workers are terminated, not asked).  The trainer
         itself stays open — recovery may respawn."""
+        self._flush_trace()
         if self._monitor is not None:
             self._monitor.stop()
             self._monitor = None
@@ -493,22 +511,49 @@ class MultiprocTrainer:
                 if msg[0] == "beat":
                     self._last_beat[msg[1]] = time.monotonic()
                     self._worker_epoch[msg[1]] = msg[2]
+                elif msg[0] == "trace":
+                    if self._collector is not None:
+                        self._collector.add_worker_payload(f"worker {msg[1]}", msg[2])
                 else:
                     self._inbox[w].append(msg)
+
+    def _liveness_rows(self) -> list[tuple[int, str, float, int]]:
+        """Per-worker ``(worker, tags, heartbeat_age_s, last_epoch)`` rows —
+        the shared shape behind timeout messages and trace summaries."""
+        now = time.monotonic()
+        rows = []
+        for w, beat in enumerate(self._last_beat):
+            tag = " [remote]" if w < len(self._procs) and self._procs[w] is None else ""
+            tag += " [pipe closed]" if w in self._eof else ""
+            rows.append((w, tag, now - beat, self._worker_epoch[w]))
+        return rows
 
     def _straggler_report(self) -> str:
         """Per-worker liveness table for timeout messages: heartbeat age and
         last completed epoch, so a timeout names the straggler."""
-        now = time.monotonic()
-        lines = []
-        for w, beat in enumerate(self._last_beat):
-            tag = " [remote]" if w < len(self._procs) and self._procs[w] is None else ""
-            tag += " [pipe closed]" if w in self._eof else ""
-            lines.append(
-                f"  worker {w}{tag}: last heartbeat {now - beat:.1f}s ago, "
-                f"last completed epoch {self._worker_epoch[w]}"
+        return format_liveness(self._liveness_rows())
+
+    def _flush_trace(self) -> None:
+        """Rewrite the merged trace artifacts in ``trace_dir`` (idempotent).
+
+        Drains the launcher's own span buffer and metrics into the
+        collector and rewrites the output files; runs at the end of every
+        ``train()`` call, on pool teardown (so spans leading up to a
+        failure survive), and from ``close()``.
+        """
+        if self._collector is None:
+            return
+        self._collector.add_wall("launcher", _trace.drain())
+        _metrics.gauge("epochs_done", float(self._epochs_done))
+        _metrics.gauge("restarts_used", float(self._restarts_used))
+        self._collector.add_metrics("launcher", self._epochs_done, _metrics.snapshot())
+        rows = self._liveness_rows() if hasattr(self, "_last_beat") else None
+        try:
+            self._collector.write(self.trace_dir, liveness=rows)
+        except OSError as err:  # disk trouble must not mask the training error
+            logger.warning(
+                "failed to write trace artifacts to %s: %s", self.trace_dir, err
             )
-        return "per-worker liveness:\n" + "\n".join(lines)
 
     def _check_failures(self) -> None:
         """Convert a monitored death / stale heartbeat into a typed raise."""
@@ -564,8 +609,19 @@ class MultiprocTrainer:
 
     def _raise_worker_error(self, payload):
         """Re-raise a worker's structured error report launcher-side, as the
-        matching typed exception carrying the original traceback text."""
+        matching typed exception carrying the original traceback text.
+
+        A tracing run's report carries the worker's crash-flushed telemetry
+        buffers under ``"trace"`` — folded into the collector here so spans
+        leading up to the failure survive into the exported trace.
+        """
         report = self._straggler_report()
+        if isinstance(payload, dict) and self._collector is not None:
+            flushed = payload.pop("trace", None)
+            if flushed is not None:
+                self._collector.add_worker_payload(
+                    f"worker {payload.get('worker')}", flushed
+                )
         self._teardown_pool()
         if not isinstance(payload, dict):  # legacy plain-text report
             raise WorkerFailed(f"multiproc runtime failed: {payload}")
@@ -643,6 +699,7 @@ class MultiprocTrainer:
                 self._train_stretch(goal)
             except _RECOVERABLE as err:
                 self._recover(err)
+        self._flush_trace()
         result = TrainResult()
         result.epochs.extend(
             self._history[start - self._hist_base : goal - self._hist_base]
@@ -658,7 +715,10 @@ class MultiprocTrainer:
         self._training = True
         self._last_beat = [time.monotonic()] * self.workers
         try:
-            per_worker = self._command("train", n)
+            with _trace.span(
+                "launcher.train_stretch", n=n, start_epoch=self._epochs_done
+            ):
+                per_worker = self._command("train", n)
         finally:
             self._training = False
         stretch: list[EpochStats] = []
@@ -699,6 +759,13 @@ class MultiprocTrainer:
             )
             raise err
         self._restarts_used += 1
+        if _trace.enabled:
+            _trace.instant(
+                "launcher.recover",
+                error=type(err).__name__,
+                worker=err.worker_id,
+                restart=self._restarts_used,
+            )
         found = ckpt.latest_checkpoint(self.checkpoint_dir)
         epoch, restore = (0, None) if found is None else (found[0], (str(found[1]), found[0]))
         delay = self.restart_backoff * (2 ** (self._restarts_used - 1))
@@ -734,7 +801,8 @@ class MultiprocTrainer:
         if tmp.exists():
             shutil.rmtree(tmp)
         tmp.mkdir(parents=True)
-        acks = self._command("checkpoint", str(tmp))
+        with _trace.span("launcher.checkpoint", epoch=epoch):
+            acks = self._command("checkpoint", str(tmp))
         ckpt.write_manifest(
             tmp,
             {
@@ -845,6 +913,9 @@ class MultiprocTrainer:
             return
         self._closed = True
         atexit.unregister(self.close)  # a closed trainer must be collectable
+        self._flush_trace()
+        if self._collector is not None:
+            _trace.disable()
         if self._monitor is not None:
             self._monitor.stop()
             self._monitor = None

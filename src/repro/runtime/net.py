@@ -74,6 +74,8 @@ from repro.errors import (
     RendezvousDesync,
     UnsupportedWorkload,
 )
+from repro.obs import trace as _trace
+from repro.obs.metrics import registry as _metrics
 from repro.runtime.shm import ShmAxisCommunicator
 
 __all__ = ["TcpConfig", "TcpBus", "TcpAxisCommunicator", "peer_listener"]
@@ -171,6 +173,9 @@ def _send_data(
             bad[0] ^= 0xFF
             buf = memoryview(bad)
         sock.sendall(buf)
+    if _trace.enabled:
+        _metrics.count("frames_sent")
+        _metrics.count("bytes_sent", len(head) + sum(a.nbytes for a in arrays))
 
 
 def _send_control(sock: socket.socket, kind: int, seq: int) -> None:
@@ -202,6 +207,9 @@ def _recv_frame(sock: socket.socket, peer: int) -> tuple[int, int, list[np.ndarr
         crc = zlib.crc32(a, crc)
         arrays.append(a)
     if crc != posted_crc:
+        if _trace.enabled:
+            _trace.instant("crc_failure", worker=peer, seq=seq, transport="tcp")
+            _metrics.count("crc_failures")
         raise PayloadCorruption(
             f"tcp frame from worker {peer} failed its CRC32 check (frame seq "
             f"{seq}: posted {posted_crc:#010x}, read {crc:#010x}) — the "
@@ -209,6 +217,8 @@ def _recv_frame(sock: socket.socket, peer: int) -> tuple[int, int, list[np.ndarr
             worker_id=peer,
             last_seq=seq,
         )
+    if _trace.enabled:
+        _metrics.count("frames_received")
     return kind, seq, arrays
 
 
@@ -361,7 +371,8 @@ class _PeerLink:
         while True:
             try:
                 if self.sock is None:
-                    self.connect(deadline)
+                    with _trace.span("tcp.reconnect", peer=self.peer, seq=seq):
+                        self.connect(deadline)
                 self._run_steps(corrupt, delay_s)
                 return self._in  # type: ignore[return-value]
             except TimeoutError:
@@ -370,6 +381,10 @@ class _PeerLink:
                 raise
             except _RETRYABLE as err:
                 attempts += 1
+                if _trace.enabled:
+                    _trace.instant("conn_lost", peer=self.peer, seq=seq,
+                                   attempt=attempts, error=str(err))
+                    _metrics.count("reconnects")
                 if self.sock is not None:
                     try:
                         self.sock.close()
@@ -382,7 +397,8 @@ class _PeerLink:
                         f"{attempts - 1} reconnect attempt(s): {err}"
                     )
                 delay = min(cfg.backoff_max, cfg.backoff_base * 2 ** (attempts - 1))
-                time.sleep(delay * (1.0 + cfg.jitter * random.random()))
+                with _trace.span("tcp.backoff", peer=self.peer, attempt=attempts):
+                    time.sleep(delay * (1.0 + cfg.jitter * random.random()))
 
     def _raise_deadline(self, why: str):
         raise BarrierTimeout(
@@ -573,10 +589,11 @@ class TcpBus:
         per_worker: dict[int, list[np.ndarray]] = {self.worker_id: arrays}
         # pairs in ascending peer order == the global (max, min) pair order
         # shared by every worker: the deadlock-freedom invariant
-        for peer in sorted(self._links):
-            per_worker[peer] = self._links[peer].exchange(
-                self._seq, arrays, corrupt=corrupt, delay_s=delay_s
-            )
+        with _trace.span("tcp.exchange", seq=self._seq):
+            for peer in sorted(self._links):
+                per_worker[peer] = self._links[peer].exchange(
+                    self._seq, arrays, corrupt=corrupt, delay_s=delay_s
+                )
         if self.faults is not None:
             self.faults.fire("mid_collective", self)
         out = [

@@ -65,6 +65,8 @@ from repro.dist.comm import (
     _slot_free_time,
 )
 from repro.dist.padded import PaddedStack
+from repro.obs import trace as _trace
+from repro.obs.metrics import registry as _metrics
 from repro.errors import (
     BarrierTimeout,
     CollectiveMisuse,
@@ -300,6 +302,9 @@ class ShmBus:
             np.copyto(dst.reshape(a.shape), a, casting="no")
             crc = zlib.crc32(dst, crc)
         struct.pack_into("<Q", buf, _CRC_OFF, crc)
+        if _trace.enabled:
+            _metrics.count("frames_sent")
+            _metrics.count("bytes_sent", total - _PAYLOAD_OFF)
 
     def _read_views(self, worker: int) -> tuple[list[np.ndarray], SharedMemory | None]:
         """Zero-copy views of ``worker``'s message (+ attached overflow)."""
@@ -340,12 +345,17 @@ class ShmBus:
                     ovf.close()
                 except BufferError:  # pragma: no cover - GC-timing backstop
                     pass
+            if _trace.enabled:
+                _trace.instant("crc_failure", worker=worker, seq=seq, transport="shm")
+                _metrics.count("crc_failures")
             raise PayloadCorruption(
                 f"shared-memory payload from worker {worker} failed its CRC32 "
                 f"check (message {seq}: posted {posted_crc:#010x}, read "
                 f"{crc:#010x}) — the mailbox bytes were corrupted in flight",
                 worker_id=worker,
             )
+        if _trace.enabled:
+            _metrics.count("frames_received")
         return views, ovf
 
     def exchange_concat(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
@@ -358,7 +368,8 @@ class ShmBus:
         self._post(arrays)
         if self.faults is not None:
             self.faults.fire("pre_barrier", self)
-        self._wait(self.handle.barrier_a)
+        with _trace.span("shm.barrier_a", seq=self._seq):
+            self._wait(self.handle.barrier_a)
         if self.faults is not None:
             self.faults.fire("mid_collective", self)
         per_worker = []
@@ -381,7 +392,8 @@ class ShmBus:
                 ovf.close()
             except BufferError:  # pragma: no cover - GC-timing backstop
                 pass
-        self._wait(self.handle.barrier_b)
+        with _trace.span("shm.barrier_b", seq=self._seq):
+            self._wait(self.handle.barrier_b)
         if self.faults is not None:
             self.faults.exchange_done()
         return out
@@ -573,6 +585,18 @@ class ShmAxisCommunicator:
             links[self._key(gi)] = float(v)
             if limit is not None:
                 insort(store.link_queues.setdefault(self._key(gi), []), float(v))
+        if store.trace is not None:
+            tk = getattr(self, "_trace_keys", None)
+            if tk is None:
+                tk = self._trace_keys = tuple(
+                    self._key(gi) for gi in range(self._n_groups)
+                )
+            store.trace.link_batch(
+                tk,
+                full_phase,
+                np.broadcast_to(begin, ready.shape).ravel(),
+                end.ravel(),
+            )
         record = ("cube", self.local_cube, begin, end, duration)
         return PendingCollective(full_phase, result, store, record)
 

@@ -31,6 +31,7 @@ moments, clocks, phase totals) lives at the same values.
 
 from __future__ import annotations
 
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any
@@ -50,6 +51,9 @@ from repro.dist.group import ProcessGroup, axis_bandwidth
 from repro.dist.topology import MachineSpec
 from repro.errors import PlexusRuntimeError, UnsupportedWorkload
 from repro.graph.shardio import LoadReport, ShardedDataLoader
+from repro.obs import trace as _trace
+from repro.obs.log import set_worker as _set_log_worker
+from repro.obs.metrics import registry as _metrics
 from repro.runtime import checkpoint as ckpt
 from repro.runtime.faults import build_injector
 from repro.runtime.shm import BusHandle, ShmAxisCommunicator, ShmBus
@@ -98,7 +102,11 @@ class WorkerCluster(VirtualCluster):
         cube-wide maximum clock, stragglers' wait charged to ``phase``."""
         if self._bus is None:
             return super().barrier(phase)
-        (full,) = self._bus.exchange_concat([self.store.clocks])
+        t0 = time.monotonic() if _trace.enabled else 0.0
+        with _trace.span("barrier.exchange", phase=phase):
+            (full,) = self._bus.exchange_concat([self.store.clocks])
+        if _trace.enabled:
+            _metrics.observe("barrier_wait_s", time.monotonic() - t0)
         t = full.max()
         clocks = self.store.clocks
         waits = t - clocks
@@ -406,20 +414,63 @@ def _worker_state(ctx: WorkerContext) -> dict:
     }
 
 
-def _report_error(conn, worker_id: int, exc: BaseException) -> None:
-    """Best-effort structured failure report to the launcher."""
+def _drain_trace_payload(ctx: WorkerContext | None, epochs_done: int) -> dict:
+    """This process's telemetry since the last drain, as one picklable dict.
+
+    Ships the wall-clock event buffer, a cumulative metrics snapshot
+    (per-phase simulated totals refreshed as gauges), and — when a
+    :class:`~repro.obs.trace.SimSink` is attached — the simulated-clock
+    charge mirror and link-occupancy windows.
+    """
+    sim: list = []
+    links: list = []
+    lo = 0
+    world = None
+    if ctx is not None:
+        sink = ctx.cluster.store.trace
+        if sink is not None:
+            sim, links = sink.drain()
+        for ph, bucket in ctx.cluster.store.by_phase.items():
+            _metrics.gauge("sim_phase:" + ph, float(bucket.sum()))
+        # the slice-local store indexes ranks from 0; the collector rebases
+        lo = ctx.cluster.lo
+        world = ctx.cluster.hi - ctx.cluster.lo
+    _metrics.gauge("last_epoch", epochs_done)
+    return {
+        "events": _trace.drain(),
+        "metrics": _metrics.snapshot(),
+        "sim": sim,
+        "links": links,
+        "lo": lo,
+        "world": world,
+        "epoch": epochs_done,
+    }
+
+
+def _report_error(
+    conn, worker_id: int, exc: BaseException, ctx: WorkerContext | None = None,
+    epochs_done: int = -1,
+) -> None:
+    """Best-effort structured failure report to the launcher.
+
+    When tracing is on, the dying worker's undrained telemetry rides the
+    error payload — the crash-flush guarantee: the last trace of a worker
+    that raises survives into the merged trace.  (A ``"die"`` fault is
+    ``os._exit`` by design and flushes nothing, like a real SIGKILL.)
+    """
+    payload = {
+        "worker": worker_id,
+        "etype": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+    if _trace.enabled:
+        try:
+            payload["trace"] = _drain_trace_payload(ctx, epochs_done)
+        except Exception:
+            pass
     try:
-        conn.send(
-            (
-                "error",
-                {
-                    "worker": worker_id,
-                    "etype": type(exc).__name__,
-                    "message": str(exc),
-                    "traceback": traceback.format_exc(),
-                },
-            )
-        )
+        conn.send(("error", payload))
     except Exception:
         pass
 
@@ -443,9 +494,18 @@ def _serve(worker_id: int, spec, conn, bus, faults, restore) -> None:
     this endpoint's bus (shared-memory mappings or sockets); the launcher
     owns segment unlinking.
     """
+    ctx = None
+    epochs_done = 0
+    _set_log_worker(worker_id)
+    if getattr(spec, "trace", False):
+        _trace.enable(f"worker {worker_id}")
     try:
         ctx = build_worker(spec, worker_id, bus)
-        epochs_done = 0
+        if _trace.enabled:
+            # mirror every simulated-clock charge (worker 0's sink becomes
+            # the merged trace's simulated tracks; the others deduplicate
+            # launcher-side)
+            ctx.cluster.store.trace = _trace.SimSink()
         if restore is not None:
             path, epoch = restore
             state, exact = ckpt.load_slice(path, ctx.cluster.lo, ctx.cluster.hi)
@@ -460,11 +520,18 @@ def _serve(worker_id: int, spec, conn, bus, faults, restore) -> None:
                 for _ in range(args[0]):
                     if faults is not None:
                         faults.start_epoch(epochs_done)
-                    raws.append(ctx.trainer.train_epoch_raw())
+                    with _trace.span("worker.epoch", epoch=epochs_done):
+                        raws.append(ctx.trainer.train_epoch_raw())
                     epochs_done += 1
                     if faults is not None:
                         faults.fire("post_epoch", bus)
                     conn.send(("beat", worker_id, epochs_done))
+                    # flush telemetry at the epoch barrier, piggybacked on
+                    # the heartbeat cadence of the control plane
+                    if _trace.enabled:
+                        conn.send(
+                            ("trace", worker_id, _drain_trace_payload(ctx, epochs_done))
+                        )
                 conn.send(("epochs", raws))
             elif cmd == "checkpoint":
                 state = ckpt.model_state(ctx.model)
@@ -488,7 +555,7 @@ def _serve(worker_id: int, spec, conn, bus, faults, restore) -> None:
             else:
                 raise PlexusRuntimeError(f"unknown worker command {cmd!r}")
     except BaseException as exc:
-        _report_error(conn, worker_id, exc)
+        _report_error(conn, worker_id, exc, ctx=ctx, epochs_done=epochs_done)
     finally:
         bus.close()
         try:

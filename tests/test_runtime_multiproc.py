@@ -396,3 +396,40 @@ class TestCrashCleanup:
         finally:
             foreign.close()
             foreign.unlink()
+
+
+class TestMultiprocTracing:
+    """``trace_dir`` must not perturb results and must merge every process."""
+
+    def test_traced_run_bitwise_and_merged(self, tmp_path):
+        import json
+
+        from repro.obs import validate_trace_dir
+
+        spec = _spec(GridConfig(2, 2, 2), workers=2)
+        with MultiprocTrainer(spec, timeout=60) as plain:
+            r_plain = plain.train(2)
+        out = tmp_path / "tr"
+        with MultiprocTrainer(spec, timeout=60, trace_dir=out) as traced:
+            r_traced = traced.train(2)
+            state = traced.state()
+        for a, b in zip(r_plain.epochs, r_traced.epochs):
+            assert (a.loss, a.epoch_time, a.comm_time, a.comp_time) == (
+                b.loss, b.epoch_time, b.comm_time, b.comp_time,
+            )
+        assert validate_trace_dir(out) == []
+        doc = json.loads((out / "trace.json").read_text())
+        procs = {e["args"]["name"] for e in doc["traceEvents"] if e.get("ph") == "M"}
+        assert {"launcher", "worker 0", "worker 1"} <= procs
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"worker.epoch", "forward", "backward", "launcher.train_stretch"} <= names
+        rows = [json.loads(l) for l in (out / "metrics.jsonl").read_text().splitlines()]
+        assert any(
+            r["process"].startswith("worker")
+            and r["counters"].get("frames_sent", 0) > 0
+            for r in rows
+        )
+        # the exported sim-phase totals equal the pool's assembled buckets
+        summary = json.loads((out / "summary.json").read_text())
+        for ph, vec in state["by_phase"].items():
+            assert np.array_equal(np.asarray(summary["sim_phase_totals"][ph]), vec), ph
